@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test test-short bench experiments vet fmt loc
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -l .
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+# One iteration of every benchmark (each regenerates a paper table/figure).
+bench:
+	go test -bench=. -benchmem -benchtime=1x ./...
+
+# Regenerate the paper's full evaluation (BERTI_SCALE=quick|default|full).
+experiments:
+	go run ./cmd/experiments -all
+
+loc:
+	@find . -name '*.go' | xargs wc -l | tail -1

@@ -1,0 +1,85 @@
+package berti_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/bertisim/berti"
+)
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := berti.Simulate(berti.Options{}); err == nil {
+		t.Fatal("missing workload must error")
+	}
+	if _, err := berti.Simulate(berti.Options{Workload: "nope"}); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+	if _, err := berti.Simulate(berti.Options{Workload: "roms_like", L1DPrefetcher: "nope"}); err == nil {
+		t.Fatal("unknown prefetcher must error")
+	}
+	if _, err := berti.Simulate(berti.Options{Workload: "roms_like", DRAM: "ddr9"}); err == nil {
+		t.Fatal("unknown DRAM config must error")
+	}
+}
+
+func TestSimulateSmallRun(t *testing.T) {
+	rep, err := berti.Simulate(berti.Options{
+		Workload:           "roms_like",
+		L1DPrefetcher:      "berti",
+		MemRecords:         30_000,
+		WarmupInstructions: 20_000,
+		Instructions:       60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IPC <= 0 || rep.IPC > 6 {
+		t.Fatalf("implausible IPC %f", rep.IPC)
+	}
+	if rep.L1D.DemandAccesses == 0 || rep.TrafficDRAM == 0 || rep.EnergyPJ <= 0 {
+		t.Fatalf("report incomplete: %+v", rep)
+	}
+	if len(rep.PerCoreIPC) != 1 {
+		t.Fatalf("per-core IPC wrong: %v", rep.PerCoreIPC)
+	}
+}
+
+func TestWorkloadsAndPrefetchersEnumerate(t *testing.T) {
+	ws := berti.Workloads()
+	if len(ws) < 25 {
+		t.Fatalf("too few workloads: %d", len(ws))
+	}
+	ps := berti.Prefetchers()
+	foundBerti := false
+	for _, p := range ps {
+		if p.Name == "berti" {
+			foundBerti = true
+			if p.StorageKB < 2.5 || p.StorageKB > 2.6 {
+				t.Fatalf("Berti storage %f KB", p.StorageKB)
+			}
+		}
+	}
+	if !foundBerti {
+		t.Fatal("berti not registered")
+	}
+}
+
+func TestRunExperimentTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := berti.RunExperiment("Tab1Storage", &buf, "quick"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2.55") {
+		t.Fatalf("Table I output wrong:\n%s", buf.String())
+	}
+	if err := berti.RunExperiment("nope", &buf, ""); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	if err := berti.RunExperiment("Tab1Storage", &buf, "huge"); err == nil {
+		t.Fatal("unknown scale must error")
+	}
+	if len(berti.Experiments()) < 24 {
+		t.Fatalf("experiment list too short: %d", len(berti.Experiments()))
+	}
+}

@@ -1,0 +1,189 @@
+// Command bertisim runs one workload through the simulator with a chosen
+// prefetcher configuration and prints the full statistics report.
+//
+// Usage:
+//
+//	bertisim -workload mcf_like_1554 -l1d berti
+//	bertisim -workload bfs-kron -l1d ipcp -l2 spp-ppf -records 500000
+//	bertisim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bertisim/berti/internal/cache"
+	"github.com/bertisim/berti/internal/energy"
+	"github.com/bertisim/berti/internal/harness"
+	"github.com/bertisim/berti/internal/prefetch"
+	"github.com/bertisim/berti/internal/sim"
+	"github.com/bertisim/berti/internal/trace"
+	"github.com/bertisim/berti/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "mcf_like_1554", "workload name")
+	traceFile := flag.String("trace", "", "run a trace file (from tracegen) instead of a generated workload")
+	l1d := flag.String("l1d", "berti", "L1D prefetcher (empty = none)")
+	l2 := flag.String("l2", "", "L2 prefetcher (empty = none)")
+	dramCfg := flag.String("dram", "", "DRAM config: ddr5-6400 (default), ddr4-3200, ddr3-1600")
+	records := flag.Int("records", 0, "memory records to generate (0 = scale default)")
+	list := flag.Bool("list", false, "list workloads and prefetchers, then exit")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON (machine-readable)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, w := range workloads.All() {
+			memInt := ""
+			if w.MemIntensive {
+				memInt = " [MemInt]"
+			}
+			fmt.Printf("  %-24s %s%s\n", w.Name, w.Suite, memInt)
+		}
+		fmt.Println("prefetchers:")
+		for _, e := range prefetch.All() {
+			level := "L1D"
+			if e.Level == prefetch.AtL2 {
+				level = "L2 "
+			}
+			fmt.Printf("  %-12s %s  %s\n", e.Name, level, e.Comment)
+		}
+		return
+	}
+
+	scale := harness.ScaleFromEnv()
+	if *records > 0 {
+		scale.MemRecords = *records
+	}
+	h := harness.New(scale)
+
+	var res, base *sim.Result
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr, err := trace.Decode(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "decoding trace:", err)
+			os.Exit(1)
+		}
+		run := func(l1, l2 string) *sim.Result {
+			cfg := sim.DefaultConfig()
+			cfg.WarmupInstructions = scale.WarmupInstr
+			cfg.SimInstructions = scale.SimInstr
+			var l1f, l2f sim.PrefetcherFactory
+			if l1 != "" {
+				e, ok := prefetch.ByName(l1)
+				if !ok {
+					fmt.Fprintf(os.Stderr, "unknown prefetcher %q\n", l1)
+					os.Exit(2)
+				}
+				l1f = func() cache.Prefetcher { return e.New() }
+			}
+			if l2 != "" {
+				e, ok := prefetch.ByName(l2)
+				if !ok {
+					fmt.Fprintf(os.Stderr, "unknown prefetcher %q\n", l2)
+					os.Exit(2)
+				}
+				l2f = func() cache.Prefetcher { return e.New() }
+			}
+			m := sim.New(cfg, []trace.Reader{trace.NewLoopReader(tr)}, l1f, l2f)
+			return m.Run()
+		}
+		res = run(*l1d, *l2)
+		base = run("ip-stride", "")
+		*workload = *traceFile
+	} else {
+		if _, ok := workloads.ByName(*workload); !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q (use -list)\n", *workload)
+			os.Exit(2)
+		}
+		res = h.Run(harness.RunSpec{Workload: *workload, L1DPf: *l1d, L2Pf: *l2, DRAMCfg: *dramCfg})
+		base = h.Run(harness.RunSpec{Workload: *workload, L1DPf: "ip-stride", DRAMCfg: *dramCfg})
+	}
+
+	instr := res.Config.SimInstructions
+	c := &res.Cores[0]
+	if *jsonOut {
+		emitJSON(*workload, *l1d, *l2, res, base)
+		return
+	}
+	fmt.Printf("workload: %s  l1d=%q l2=%q\n", *workload, *l1d, *l2)
+	fmt.Printf("IPC            %.4f  (IP-stride baseline %.4f, speedup %.3fx)\n",
+		res.IPC(), base.IPC(), harness.SpeedupOver(res, base))
+	fmt.Printf("L1D  accesses=%d hits=%d misses=%d MPKI=%.1f avgFillLat=%.0f cyc\n",
+		c.L1D.DemandAccesses, c.L1D.DemandHits, c.L1D.DemandMisses,
+		c.L1D.MPKI(instr), c.L1D.AvgFillLatency())
+	fmt.Printf("     prefetch: issued=%d fills=%d useful=%d late=%d useless=%d dropped=%d\n",
+		c.L1D.PrefIssued, c.L1D.PrefFills, c.L1D.PrefUseful, c.L1D.PrefLate,
+		c.L1D.PrefUseless, c.L1D.PrefDropped)
+	fmt.Printf("     accuracy=%.3f timelyFraction=%.3f\n", c.L1D.Accuracy(), c.L1D.TimelyFraction())
+	fmt.Printf("L2   accesses=%d misses=%d MPKI=%.1f pfFills=%d pfUseful=%d\n",
+		c.L2.DemandAccesses, c.L2.DemandMisses, c.L2.MPKI(instr), c.L2.PrefFills, c.L2.PrefUseful)
+	fmt.Printf("LLC  accesses=%d misses=%d MPKI=%.1f\n",
+		res.LLC.DemandAccesses, res.LLC.DemandMisses, res.LLC.MPKI(instr))
+	fmt.Printf("DRAM reads=%d writes=%d rowHit=%d rowMiss=%d rowConf=%d busBusy=%.2f\n",
+		res.DRAM.Reads, res.DRAM.Writes, res.DRAM.RowHits, res.DRAM.RowMisses,
+		res.DRAM.RowConflicts, float64(res.DRAM.BusyCycles)/float64(res.Cycles))
+	tr := res.Traffic()
+	l2t, llct, drt := tr.Total()
+	fmt.Printf("traffic lines: L1D<->L2=%d L2<->LLC=%d LLC<->DRAM=%d\n", l2t, llct, drt)
+	e := energy.Compute(energy.Default22nm(), res)
+	fmt.Printf("dynamic energy (uJ): L1D=%.1f L2=%.1f LLC=%.1f DRAM=%.1f total=%.1f\n",
+		e.L1D/1e6, e.L2/1e6, e.LLC/1e6, e.DRAM/1e6, e.Total()/1e6)
+	fmt.Printf("TLB  dTLBmiss=%d STLBmiss=%d walks=%d pfDropTLB=%d\n",
+		c.TLB.DTLBMisses, c.TLB.STLBMisses, c.TLB.PageWalks, c.TLB.PrefDropTLB)
+}
+
+// jsonReport is the machine-readable output of one run.
+type jsonReport struct {
+	Workload string  `json:"workload"`
+	L1DPf    string  `json:"l1d_prefetcher"`
+	L2Pf     string  `json:"l2_prefetcher"`
+	IPC      float64 `json:"ipc"`
+	Baseline float64 `json:"baseline_ipc"`
+	Speedup  float64 `json:"speedup"`
+	L1DMPKI  float64 `json:"l1d_mpki"`
+	L2MPKI   float64 `json:"l2_mpki"`
+	LLCMPKI  float64 `json:"llc_mpki"`
+	Accuracy float64 `json:"l1d_prefetch_accuracy"`
+	Timely   float64 `json:"timely_fraction"`
+	DRAMRead uint64  `json:"dram_reads"`
+	DRAMWrit uint64  `json:"dram_writes"`
+	EnergyPJ float64 `json:"dynamic_energy_pj"`
+}
+
+// emitJSON prints the machine-readable report.
+func emitJSON(workload, l1d, l2 string, res, base *sim.Result) {
+	instr := res.Config.SimInstructions
+	c := &res.Cores[0]
+	rep := jsonReport{
+		Workload: workload,
+		L1DPf:    l1d,
+		L2Pf:     l2,
+		IPC:      res.IPC(),
+		Baseline: base.IPC(),
+		Speedup:  harness.SpeedupOver(res, base),
+		L1DMPKI:  c.L1D.MPKI(instr),
+		L2MPKI:   c.L2.MPKI(instr),
+		LLCMPKI:  res.LLC.MPKI(instr),
+		Accuracy: c.L1D.Accuracy(),
+		Timely:   c.L1D.TimelyFraction(),
+		DRAMRead: res.DRAM.Reads,
+		DRAMWrit: res.DRAM.Writes,
+		EnergyPJ: energy.Compute(energy.Default22nm(), res).Total(),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,65 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run Fig8L1DSpeedup[,Fig9PerTrace,...]
+//	experiments -all
+//	BERTI_SCALE=quick experiments -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/bertisim/berti/internal/harness"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	runIDs := flag.String("run", "", "comma-separated experiment IDs to run")
+	all := flag.Bool("all", false, "run every experiment")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-24s %-14s %s\n", e.ID, e.Paper, e.Desc)
+		}
+		return
+	}
+
+	var selected []harness.Experiment
+	switch {
+	case *all:
+		selected = harness.Experiments()
+	case *runIDs != "":
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, ok := harness.ExperimentByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	h := harness.New(harness.ScaleFromEnv())
+	if *workers > 0 {
+		h.Workers = *workers
+	}
+	fmt.Printf("scale=%s (%d mem records, %d warmup, %d measured instructions)\n\n",
+		h.Scale.Name, h.Scale.MemRecords, h.Scale.WarmupInstr, h.Scale.SimInstr)
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("--- %s (%s) ---\n", e.ID, e.Paper)
+		e.Run(h, os.Stdout)
+		fmt.Printf("[%s took %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,94 @@
+// Command tracegen generates workload traces to disk in the binary trace
+// format and inspects existing trace files.
+//
+// Usage:
+//
+//	tracegen -workload bfs-kron -records 500000 -o bfs.trace
+//	tracegen -inspect bfs.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bertisim/berti/internal/trace"
+	"github.com/bertisim/berti/internal/workloads"
+	_ "github.com/bertisim/berti/internal/workloads/cloudlike"
+	_ "github.com/bertisim/berti/internal/workloads/gap"
+	_ "github.com/bertisim/berti/internal/workloads/speclike"
+)
+
+func main() {
+	workload := flag.String("workload", "", "workload to generate")
+	records := flag.Int("records", 300_000, "memory records to emit")
+	seed := flag.Int64("seed", 42, "generation seed")
+	out := flag.String("o", "", "output trace file")
+	inspect := flag.String("inspect", "", "trace file to summarize")
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.Decode(f)
+		if err != nil {
+			fatal(err)
+		}
+		summarize(tr)
+	case *workload != "" && *out != "":
+		w, ok := workloads.ByName(*workload)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *workload))
+		}
+		tr := w.Gen(workloads.GenConfig{MemRecords: *records, Seed: *seed})
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Encode(f, tr); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d records (%d instructions) to %s\n",
+			tr.Len(), tr.Instructions(), *out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func summarize(tr *trace.Slice) {
+	loads, stores, deps := 0, 0, 0
+	ips := map[uint64]int{}
+	pages := map[uint64]bool{}
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		if r.Kind == trace.Load {
+			loads++
+		} else {
+			stores++
+		}
+		if r.DepDist > 0 {
+			deps++
+		}
+		ips[r.IP]++
+		pages[r.Addr>>12] = true
+	}
+	fmt.Printf("records:       %d (%d loads, %d stores, %d dependent)\n",
+		tr.Len(), loads, stores, deps)
+	fmt.Printf("instructions:  %d\n", tr.Instructions())
+	fmt.Printf("distinct IPs:  %d\n", len(ips))
+	fmt.Printf("4K pages:      %d (%.1f MB footprint)\n",
+		len(pages), float64(len(pages))*4096/1e6)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

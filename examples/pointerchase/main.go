@@ -1,0 +1,77 @@
+// pointerchase: the paper's Figure 2/3 narrative as a runnable program.
+// It feeds Berti the access stream of interleaved pointer chases with
+// per-IP delta patterns (including the mcf -1,-5,-2,-1,-4,-1 sequence from
+// Section II-B), then dumps the per-IP deltas Berti learned and contrasts
+// them with BOP's single global offset.
+//
+//	go run ./examples/pointerchase
+package main
+
+import (
+	"fmt"
+
+	"github.com/bertisim/berti/internal/cache"
+	"github.com/bertisim/berti/internal/core"
+	"github.com/bertisim/berti/internal/prefetch/bop"
+)
+
+// chaser replays a repeating local-delta sequence for one IP.
+type chaser struct {
+	ip    uint64
+	line  uint64
+	seq   []int64
+	pos   int
+	label string
+}
+
+func (c *chaser) next() uint64 {
+	c.line = uint64(int64(c.line) + c.seq[c.pos])
+	c.pos = (c.pos + 1) % len(c.seq)
+	return c.line
+}
+
+func main() {
+	chasers := []*chaser{
+		{ip: 0x401cb0, line: 1 << 22, seq: []int64{1, 2}, label: "lbm-style +1/+2"},
+		{ip: 0x402dc7, line: 2 << 22, seq: []int64{-1, -5, -2, -1, -4, -1}, label: "mcf-style irregular"},
+		{ip: 0x403f15, line: 3 << 22, seq: []int64{7}, label: "constant stride +7"},
+	}
+
+	berti := core.New(core.DefaultConfig())
+	bopPf := bop.New(bop.DefaultConfig())
+
+	// Feed both prefetchers the interleaved miss stream with a 300-cycle
+	// fetch latency and ~40 cycles between accesses.
+	const latency = 300
+	cycle := uint64(0)
+	for round := 0; round < 3000; round++ {
+		for _, c := range chasers {
+			line := c.next()
+			ev := cache.AccessEvent{IP: c.ip, LineAddr: line, Cycle: cycle, Hit: false}
+			berti.OnAccess(ev)
+			bopPf.OnAccess(ev)
+			fill := cache.FillEvent{IP: c.ip, LineAddr: line, Cycle: cycle + latency, Latency: latency}
+			berti.OnFill(fill)
+			bopPf.OnFill(fill)
+			cycle += 40
+		}
+	}
+
+	fmt.Println("What Berti learned, per IP (delta[status]):")
+	for _, c := range chasers {
+		fmt.Printf("  %-22s IP 0x%x: ", c.label, c.ip)
+		ds := berti.SnapshotDeltas(c.ip)
+		if len(ds) == 0 {
+			fmt.Println("(nothing)")
+			continue
+		}
+		for _, d := range ds {
+			fmt.Printf("%+d[%s] ", d.Delta, d.Status)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nWhat BOP learned: one global offset = %+d\n\n", bopPf.BestOffset())
+	fmt.Println("The paper's point (Fig. 3): each IP has its own timely deltas — e.g. the")
+	fmt.Println("+1/+2 alternation is covered by local deltas +3/+6/+9 at 100% coverage —")
+	fmt.Println("while a single global offset cannot serve all three streams at once.")
+}

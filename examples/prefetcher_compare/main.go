@@ -1,0 +1,49 @@
+// prefetcher_compare: a full L1D prefetcher shootout on one workload —
+// speedup over the IP-stride baseline, accuracy, timeliness, traffic, and
+// energy, like one column of the paper's Figures 8/10/14/15.
+//
+//	go run ./examples/prefetcher_compare [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/bertisim/berti"
+)
+
+func main() {
+	workload := "bfs-kron"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+
+	base, err := berti.Simulate(berti.Options{Workload: workload, L1DPrefetcher: "ip-stride"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	noPf, err := berti.Simulate(berti.Options{Workload: workload})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("L1D prefetcher comparison on %s (baseline: ip-stride, IPC %.3f)\n\n", workload, base.IPC)
+	fmt.Printf("%-12s %8s %8s %8s %8s %10s %8s\n",
+		"prefetcher", "IPC", "speedup", "accuracy", "timely", "L1D-MPKI", "energy")
+	for _, pf := range []string{"", "ip-stride", "bop", "mlop", "ipcp", "berti"} {
+		rep, err := berti.Simulate(berti.Options{Workload: workload, L1DPrefetcher: pf})
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := pf
+		if name == "" {
+			name = "(none)"
+		}
+		fmt.Printf("%-12s %8.3f %7.2fx %7.1f%% %7.1f%% %10.1f %7.2fx\n",
+			name, rep.IPC, rep.IPC/base.IPC,
+			100*rep.L1D.PrefetchAccuracy, 100*rep.L1D.TimelyFraction,
+			rep.L1D.MPKI, rep.EnergyPJ/noPf.EnergyPJ)
+	}
+	fmt.Println("\nenergy is dynamic memory-hierarchy energy normalized to no prefetching")
+}

@@ -1,0 +1,43 @@
+// Quickstart: simulate one workload with and without Berti and print the
+// headline numbers. This is the smallest useful program against the public
+// API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/bertisim/berti"
+)
+
+func main() {
+	const workload = "mcf_like_1554" // pointer-chasing, Berti's best case
+
+	baseline, err := berti.Simulate(berti.Options{
+		Workload:      workload,
+		L1DPrefetcher: "ip-stride", // the paper's baseline
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	withBerti, err := berti.Simulate(berti.Options{
+		Workload:      workload,
+		L1DPrefetcher: "berti",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s\n", workload)
+	fmt.Printf("  IP-stride baseline: IPC %.3f, L1D MPKI %.1f\n",
+		baseline.IPC, baseline.L1D.MPKI)
+	fmt.Printf("  Berti:              IPC %.3f, L1D MPKI %.1f\n",
+		withBerti.IPC, withBerti.L1D.MPKI)
+	fmt.Printf("  speedup:            %.2fx\n", withBerti.IPC/baseline.IPC)
+	fmt.Printf("  Berti accuracy:     %.1f%% (%.1f%% of useful prefetches timely)\n",
+		100*withBerti.L1D.PrefetchAccuracy, 100*withBerti.L1D.TimelyFraction)
+	fmt.Printf("  DRAM traffic:       %d -> %d lines\n",
+		baseline.TrafficDRAM, withBerti.TrafficDRAM)
+}

@@ -1,0 +1,3 @@
+module github.com/bertisim/berti
+
+go 1.22

@@ -1,0 +1,1052 @@
+// Package cache models the on-chip memory hierarchy: set-associative,
+// non-inclusive caches with MSHRs, read/write/prefetch queues, multiple
+// replacement policies, and the prefetcher hook points Berti and the
+// baseline prefetchers need (per-access events with virtual addresses at
+// L1D, fill events with measured fetch latency, per-line prefetch bits and
+// 12-bit latency metadata).
+package cache
+
+import (
+	"fmt"
+
+	"github.com/bertisim/berti/internal/stats"
+)
+
+// Level identifies a position in the hierarchy. Smaller is closer to the
+// core. FillLevel semantics: a request with FillLevel L fills every cache
+// whose level index is >= L on the response path.
+type Level int
+
+// Hierarchy levels.
+const (
+	L1D Level = iota
+	L2
+	LLC
+	MEM
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case L1D:
+		return "L1D"
+	case L2:
+		return "L2"
+	case LLC:
+		return "LLC"
+	case MEM:
+		return "MEM"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// debugSlowFills enables diagnostic prints for pathological fill latencies.
+var debugSlowFills = false
+
+// SetDebugSlowFills toggles slow-fill diagnostics.
+func SetDebugSlowFills(v bool) { debugSlowFills = v }
+
+// DebugDRAMTimeline is patched by the harness to expose per-line DRAM event
+// times in slow-fill diagnostics; nil-safe default.
+var DebugDRAMTimeline = func(line uint64) []uint64 { return nil }
+
+// LineShift is log2 of the cache line size (64-byte lines).
+const LineShift = 6
+
+// LineSize is the cache line size in bytes.
+const LineSize = 1 << LineShift
+
+// Req is a request travelling between hierarchy levels. Addresses are
+// line-granular (byte address >> LineShift) and physical below L1D.
+type Req struct {
+	// LineAddr is the physical line address.
+	LineAddr uint64
+	// VLineAddr is the virtual line address (propagated from L1D so
+	// prefetchers training on virtual addresses can observe fills).
+	VLineAddr uint64
+	// IP is the instruction pointer that triggered the request.
+	IP uint64
+	// IsPrefetch marks prefetch requests.
+	IsPrefetch bool
+	// FillLevel is the closest-to-core level this request fills.
+	FillLevel Level
+	// OnDone is invoked once with the cycle at which data is available
+	// to the requester. Nil for writes and fire-and-forget prefetches.
+	OnDone func(cycle uint64)
+	// Store marks demand stores (write-allocate; the line is dirtied on
+	// fill). Writebacks are Store requests with a nil OnDone.
+	Store bool
+	// notBefore delays processing (translation latency etc.).
+	notBefore uint64
+	// enqueued records when the request entered the current queue.
+	enqueued uint64
+}
+
+// Lower is the downstream interface of a cache: the next cache level or
+// the DRAM adaptor.
+type Lower interface {
+	// AcceptRead attempts to enqueue a read/prefetch; false means the
+	// target queue is full and the caller must retry.
+	AcceptRead(r *Req, cycle uint64) bool
+	// AcceptWrite attempts to enqueue a writeback.
+	AcceptWrite(r *Req, cycle uint64) bool
+	// Promote upgrades any in-flight prefetch for the line to demand
+	// priority (a demand merged into the prefetch upstream).
+	Promote(lineAddr uint64)
+}
+
+// ReplPolicy selects a replacement policy.
+type ReplPolicy int
+
+// Replacement policies used by Table II (LRU at L1D, SRRIP at L2, DRRIP at
+// the LLC) plus FIFO for completeness.
+const (
+	LRU ReplPolicy = iota
+	FIFO
+	SRRIP
+	DRRIP
+)
+
+// String implements fmt.Stringer.
+func (p ReplPolicy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case SRRIP:
+		return "SRRIP"
+	case DRRIP:
+		return "DRRIP"
+	default:
+		return fmt.Sprintf("ReplPolicy(%d)", int(p))
+	}
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	Level      Level
+	SizeBytes  int
+	Ways       int
+	LatencyCyc uint64
+	MSHRs      int
+	RQSize     int
+	WQSize     int
+	PQSize     int
+	ReadPorts  int // demand reads processed per cycle
+	WritePorts int // writes processed per cycle
+	Repl       ReplPolicy
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / LineSize / c.Ways }
+
+// line is one cache line's metadata.
+type line struct {
+	addr  uint64 // full physical line address (tag+index)
+	vaddr uint64 // virtual line address (maintained at L1D)
+	valid bool
+	dirty bool
+	// prefetched is the prefetch bit: set when the line was brought by a
+	// prefetch and not yet demanded.
+	prefetched bool
+	// pfLatency is the stored 12-bit fetch latency of the prefetch that
+	// brought this line (Berti's L1D shadow metadata); 0 = invalid.
+	pfLatency uint16
+	// pfIP is the IP that triggered the prefetch (for training on hit).
+	pfIP uint64
+	lru  uint64
+	rrpv uint8
+}
+
+// mshr is one miss-status holding register entry.
+type mshr struct {
+	valid    bool
+	lineAddr uint64
+	vline    uint64
+	ip       uint64
+	// isPrefetch: no demand has merged yet.
+	isPrefetch bool
+	fillLevel  Level
+	isStore    bool
+	// issueCycle is the Berti timestamp: MSHR allocation for demands,
+	// PQ insertion for prefetches (transferred on PQ->MSHR move).
+	issueCycle uint64
+	// demandMerged records that a demand arrived while a prefetch was in
+	// flight (a "late" prefetch).
+	demandMerged bool
+	sentDown     bool
+	dataReady    bool
+	readyCycle   uint64
+	waiters      []func(cycle uint64)
+}
+
+// AccessEvent is passed to the prefetcher for every demand access.
+type AccessEvent struct {
+	Cycle     uint64
+	IP        uint64
+	LineAddr  uint64 // virtual at L1D, physical at L2/LLC
+	PLineAddr uint64 // physical line address
+	IsStore   bool
+	Hit       bool
+	// PrefetchHit: the access hit a line whose prefetch bit was set
+	// (i.e. a miss in the no-prefetcher baseline).
+	PrefetchHit bool
+	// PfLatency is the stored prefetch fetch latency when PrefetchHit.
+	PfLatency uint16
+	// MSHROccupancy / MSHRCap let the prefetcher apply occupancy
+	// watermarks.
+	MSHROccupancy int
+	MSHRCap       int
+}
+
+// FillEvent is passed to the prefetcher when a line fills this level.
+type FillEvent struct {
+	Cycle     uint64
+	IP        uint64
+	LineAddr  uint64 // virtual at L1D (when known), physical otherwise
+	PLineAddr uint64
+	// Latency is the measured fetch latency (fill cycle - issue cycle).
+	Latency uint64
+	// ByPrefetch: the fill was triggered by a prefetch with no demand
+	// merged (its demand time is unknown).
+	ByPrefetch bool
+	// EvictedAddr is the line that was evicted to make room (0 if none);
+	// EvictedPrefetched tells whether it was an unused prefetch.
+	EvictedAddr       uint64
+	EvictedPrefetched bool
+}
+
+// PrefetchReq is a prefetch the prefetcher wants issued. LineAddr is in the
+// same address space the prefetcher trains on (virtual at L1D).
+type PrefetchReq struct {
+	LineAddr  uint64
+	FillLevel Level
+}
+
+// Prefetcher is the hook interface implemented by Berti and the baselines.
+type Prefetcher interface {
+	// Name identifies the prefetcher in reports.
+	Name() string
+	// OnAccess observes one demand access and returns prefetches to
+	// enqueue. The returned slice is only valid until the next OnAccess
+	// call (implementations reuse a scratch buffer); the cache consumes
+	// it immediately.
+	OnAccess(ev AccessEvent) []PrefetchReq
+	// OnFill observes a fill into this cache level.
+	OnFill(ev FillEvent)
+	// StorageBits returns the hardware budget in bits for Fig. 7.
+	StorageBits() int
+}
+
+// Translator converts the prefetcher's (virtual) line address into a
+// physical line address. L1D uses the STLB path; lower levels are identity.
+// ok=false drops the prefetch (STLB miss).
+type Translator interface {
+	TranslatePrefetchLine(vline uint64) (pline uint64, extraLat uint64, ok bool)
+}
+
+// identityXlat passes physical addresses through (L2/LLC prefetchers).
+type identityXlat struct{}
+
+func (identityXlat) TranslatePrefetchLine(v uint64) (uint64, uint64, bool) { return v, 0, true }
+
+// pqEntry is one prefetch-queue entry.
+type pqEntry struct {
+	vline     uint64
+	pline     uint64
+	fillLevel Level
+	issue     uint64 // timestamp at PQ insertion (Berti latency origin)
+	notBefore uint64
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg   Config
+	sets  int
+	lines []line // sets*ways
+	lru   uint64
+	lower Lower
+	pf    Prefetcher
+	xlat  Translator
+	mshrs []mshr
+	rq    []*Req
+	wq    []*Req
+	pq    []pqEntry
+	// sendQ holds requests that must be pushed downstream (retried when
+	// the lower level's queues are full).
+	sendQ []*Req
+	// trafficDown counts line requests sent to the lower level; wbDown
+	// counts writebacks sent to the lower level.
+	TrafficDown uint64
+	WBDown      uint64
+	// RQRejects counts AcceptRead refusals (queue full) — a backpressure
+	// diagnostic.
+	RQRejects uint64
+	Stats     stats.CacheStats
+	// drripPSEL and leader sets for DRRIP set dueling.
+	drripPSEL int
+}
+
+// New builds a cache level. lower may be nil only in unit tests.
+func New(cfg Config, lower Lower) *Cache {
+	sets := cfg.Sets()
+	if sets <= 0 || sets*cfg.Ways*LineSize != cfg.SizeBytes {
+		panic(fmt.Sprintf("cache %s: bad geometry size=%d ways=%d", cfg.Name, cfg.SizeBytes, cfg.Ways))
+	}
+	c := &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		lines: make([]line, sets*cfg.Ways),
+		lower: lower,
+		xlat:  identityXlat{},
+		mshrs: make([]mshr, cfg.MSHRs),
+	}
+	c.Stats.Name = cfg.Name
+	return c
+}
+
+// SetPrefetcher attaches a prefetcher to this level.
+func (c *Cache) SetPrefetcher(p Prefetcher) { c.pf = p }
+
+// Prefetcher returns the attached prefetcher (nil if none).
+func (c *Cache) Prefetcher() Prefetcher { return c.pf }
+
+// SetTranslator attaches the STLB translation path (L1D only).
+func (c *Cache) SetTranslator(t Translator) { c.xlat = t }
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setFor(lineAddr uint64) []line {
+	s := int(lineAddr % uint64(c.sets))
+	return c.lines[s*c.cfg.Ways : (s+1)*c.cfg.Ways]
+}
+
+// probe returns the way holding lineAddr, or nil.
+func (c *Cache) probe(lineAddr uint64) *line {
+	set := c.setFor(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].addr == lineAddr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Contains reports whether the physical line is present (tests/harness).
+func (c *Cache) Contains(lineAddr uint64) bool { return c.probe(lineAddr) != nil }
+
+// touch updates replacement state on a hit.
+func (c *Cache) touch(l *line) {
+	c.lru++
+	l.lru = c.lru
+	l.rrpv = 0
+}
+
+// isDRRIPLeaderSRRIP / isDRRIPLeaderBRRIP choose leader sets for set
+// dueling (every 32nd set, offset 0 vs 16).
+func (c *Cache) duelKind(setIdx int) int {
+	if setIdx%32 == 0 {
+		return 1 // SRRIP leader
+	}
+	if setIdx%32 == 16 {
+		return 2 // BRRIP leader
+	}
+	return 0
+}
+
+// victim selects (and returns) the victim way in the set of lineAddr.
+func (c *Cache) victim(lineAddr uint64) *line {
+	set := c.setFor(lineAddr)
+	for i := range set {
+		if !set[i].valid {
+			return &set[i]
+		}
+	}
+	switch c.cfg.Repl {
+	case LRU, FIFO:
+		v := &set[0]
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < v.lru {
+				v = &set[i]
+			}
+		}
+		return v
+	case SRRIP, DRRIP:
+		for {
+			for i := range set {
+				if set[i].rrpv >= 3 {
+					return &set[i]
+				}
+			}
+			for i := range set {
+				if set[i].rrpv < 3 {
+					set[i].rrpv++
+				}
+			}
+		}
+	default:
+		return &set[0]
+	}
+}
+
+// insertRepl initializes replacement state for a newly installed line.
+func (c *Cache) insertRepl(l *line, lineAddr uint64) {
+	c.lru++
+	l.lru = c.lru // LRU and FIFO both stamp at insert; LRU also on hit
+	switch c.cfg.Repl {
+	case SRRIP:
+		l.rrpv = 2
+	case DRRIP:
+		setIdx := int(lineAddr % uint64(c.sets))
+		brrip := false
+		switch c.duelKind(setIdx) {
+		case 1:
+			brrip = false
+		case 2:
+			brrip = true
+		default:
+			brrip = c.drripPSEL < 0
+		}
+		if brrip {
+			// Bimodal: distant re-reference mostly.
+			if c.lru%32 == 0 {
+				l.rrpv = 2
+			} else {
+				l.rrpv = 3
+			}
+		} else {
+			l.rrpv = 2
+		}
+	}
+}
+
+// drripMissUpdate updates PSEL on misses in leader sets.
+func (c *Cache) drripMissUpdate(lineAddr uint64) {
+	if c.cfg.Repl != DRRIP {
+		return
+	}
+	setIdx := int(lineAddr % uint64(c.sets))
+	switch c.duelKind(setIdx) {
+	case 1: // SRRIP leader missed -> favor BRRIP
+		if c.drripPSEL > -512 {
+			c.drripPSEL--
+		}
+	case 2: // BRRIP leader missed -> favor SRRIP
+		if c.drripPSEL < 511 {
+			c.drripPSEL++
+		}
+	}
+}
+
+// findMSHR returns the MSHR entry tracking lineAddr, or nil.
+func (c *Cache) findMSHR(lineAddr uint64) *mshr {
+	for i := range c.mshrs {
+		if c.mshrs[i].valid && c.mshrs[i].lineAddr == lineAddr {
+			return &c.mshrs[i]
+		}
+	}
+	return nil
+}
+
+// allocMSHR returns a free entry, or nil when the MSHR file is full.
+func (c *Cache) allocMSHR() *mshr {
+	for i := range c.mshrs {
+		if !c.mshrs[i].valid {
+			return &c.mshrs[i]
+		}
+	}
+	return nil
+}
+
+// MSHROccupancy returns the number of valid MSHR entries.
+func (c *Cache) MSHROccupancy() int {
+	n := 0
+	for i := range c.mshrs {
+		if c.mshrs[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// AcceptRead implements Lower for the level above.
+func (c *Cache) AcceptRead(r *Req, cycle uint64) bool {
+	if r.IsPrefetch && r.OnDone == nil {
+		// Fire-and-forget prefetch that fills at or below this level:
+		// it enters this level's prefetch path (already physical).
+		if len(c.pq) >= c.cfg.PQSize {
+			return false
+		}
+		c.pq = append(c.pq, pqEntry{
+			vline: r.VLineAddr, pline: r.LineAddr,
+			fillLevel: r.FillLevel, issue: cycle, notBefore: cycle,
+		})
+		return true
+	}
+	// Demand reads and prefetches whose data must propagate upward use
+	// the read queue so the response path is exercised.
+	if len(c.rq) >= c.cfg.RQSize {
+		c.RQRejects++
+		return false
+	}
+	r.enqueued = cycle
+	c.rq = append(c.rq, r)
+	return true
+}
+
+// AcceptWrite implements Lower for writebacks from the level above.
+func (c *Cache) AcceptWrite(r *Req, cycle uint64) bool {
+	if len(c.wq) >= c.cfg.WQSize {
+		return false
+	}
+	r.enqueued = cycle
+	c.wq = append(c.wq, r)
+	c.Stats.WritebacksIn++
+	return true
+}
+
+// AcceptDemand is the core-facing entry point at L1D. notBefore delays
+// processing by the translation latency. Same-line requests already waiting
+// in the read queue are combined (load combining), so a burst of accesses
+// to one line costs one cache lookup and counts as one demand access.
+func (c *Cache) AcceptDemand(r *Req, notBefore uint64) bool {
+	for _, q := range c.rq {
+		if q.LineAddr == r.LineAddr && !q.IsPrefetch {
+			if r.OnDone != nil {
+				if prev := q.OnDone; prev != nil {
+					next := r.OnDone
+					q.OnDone = func(cyc uint64) {
+						prev(cyc)
+						next(cyc)
+					}
+				} else {
+					q.OnDone = r.OnDone
+				}
+			}
+			q.Store = q.Store || r.Store
+			if notBefore < q.notBefore {
+				q.notBefore = notBefore
+			}
+			return true
+		}
+	}
+	if len(c.rq) >= c.cfg.RQSize {
+		return false
+	}
+	r.notBefore = notBefore
+	r.enqueued = notBefore
+	c.rq = append(c.rq, r)
+	return true
+}
+
+// RQOccupancy returns the demand read-queue length (core stall decisions).
+func (c *Cache) RQOccupancy() int { return len(c.rq) }
+
+// RQCap returns the read-queue capacity.
+func (c *Cache) RQCap() int { return c.cfg.RQSize }
+
+// EnqueuePrefetches inserts prefetcher-generated requests into the PQ,
+// translating them and deduplicating against the cache, MSHRs, and PQ.
+func (c *Cache) EnqueuePrefetches(reqs []PrefetchReq, cycle uint64, triggerVPage uint64) {
+	for _, pr := range reqs {
+		if len(c.pq) >= c.cfg.PQSize {
+			c.Stats.PrefDropped++
+			continue
+		}
+		pline, extraLat, ok := c.xlat.TranslatePrefetchLine(pr.LineAddr)
+		if !ok {
+			c.Stats.PrefDropped++
+			continue
+		}
+		if triggerVPage != 0 {
+			prPage := pr.LineAddr >> (12 - LineShift)
+			if prPage != triggerVPage {
+				c.Stats.PrefCrossPg++
+			}
+		}
+		c.Stats.PrefTagProbe++
+		if c.probe(pline) != nil {
+			c.Stats.PrefDropped++
+			continue
+		}
+		if c.findMSHR(pline) != nil {
+			c.Stats.PrefDropped++
+			continue
+		}
+		dup := false
+		for i := range c.pq {
+			if c.pq[i].pline == pline {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			c.Stats.PrefDropped++
+			continue
+		}
+		c.pq = append(c.pq, pqEntry{
+			vline:     pr.LineAddr,
+			pline:     pline,
+			fillLevel: pr.FillLevel,
+			issue:     cycle,
+			notBefore: cycle + extraLat,
+		})
+		c.Stats.PrefIssued++
+	}
+}
+
+// Tick advances the cache one cycle: fills, writebacks, demand reads,
+// prefetches, and downstream sends.
+func (c *Cache) Tick(cycle uint64) {
+	c.processFills(cycle)
+	c.processWrites(cycle)
+	c.processReads(cycle)
+	c.processPrefetches(cycle)
+	c.drainSendQ(cycle)
+}
+
+// processFills completes MSHR entries whose data has arrived.
+func (c *Cache) processFills(cycle uint64) {
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if !m.valid || !m.dataReady || m.readyCycle > cycle {
+			continue
+		}
+		c.fill(m, cycle)
+		*m = mshr{}
+	}
+}
+
+// fill installs the line (respecting fill level) and wakes waiters.
+func (c *Cache) fill(m *mshr, cycle uint64) {
+	install := c.cfg.Level >= m.fillLevel || !m.isPrefetch || m.demandMerged
+	latency := cycle - m.issueCycle
+	if install {
+		v := c.victim(m.lineAddr)
+		var evAddr uint64
+		var evPf bool
+		if v.valid {
+			evAddr = v.addr
+			evPf = v.prefetched
+			if v.prefetched {
+				c.Stats.PrefUseless++
+			}
+			if v.dirty {
+				c.writebackVictim(v, cycle)
+			}
+		}
+		*v = line{
+			addr:  m.lineAddr,
+			vaddr: m.vline,
+			valid: true,
+		}
+		c.insertRepl(v, m.lineAddr)
+		c.Stats.TotalFills++
+		if m.isPrefetch {
+			// Every prefetch-initiated fill counts toward the artifact
+			// accuracy denominator, including late (demand-merged) ones.
+			c.Stats.PrefFills++
+		}
+		if m.isPrefetch && !m.demandMerged {
+			v.prefetched = true
+			v.pfIP = m.ip
+			// Store the 12-bit latency; overflow -> 0 (not learned).
+			if latency >= 1<<12 {
+				v.pfLatency = 0
+			} else {
+				v.pfLatency = uint16(latency)
+			}
+		}
+		if m.isStore && (!m.isPrefetch || m.demandMerged) {
+			v.dirty = true
+		}
+		if c.pf != nil {
+			c.pf.OnFill(FillEvent{
+				Cycle:             cycle,
+				IP:                m.ip,
+				LineAddr:          c.trainAddr(m.vline, m.lineAddr),
+				PLineAddr:         m.lineAddr,
+				Latency:           latency,
+				ByPrefetch:        m.isPrefetch && !m.demandMerged,
+				EvictedAddr:       evAddr,
+				EvictedPrefetched: evPf,
+			})
+		}
+		if !m.isPrefetch || m.demandMerged {
+			c.Stats.RecordFillLatency(latency)
+			if debugSlowFills && latency > 1200 {
+				fmt.Printf("SLOWFILL %s line=%x lat=%d wasPf=%v merged=%v fillLvl=%v cyc=%d issue=%d dramTL=%v\n",
+					c.cfg.Name, m.lineAddr, latency, m.isPrefetch, m.demandMerged, m.fillLevel, cycle, m.issueCycle, DebugDRAMTimeline(m.lineAddr))
+			}
+		}
+	}
+	for _, w := range m.waiters {
+		w(cycle)
+	}
+}
+
+// trainAddr picks the training address space: virtual when available (L1D),
+// physical otherwise.
+func (c *Cache) trainAddr(vline, pline uint64) uint64 {
+	if c.cfg.Level == L1D && vline != 0 {
+		return vline
+	}
+	return pline
+}
+
+// writebackVictim queues a dirty victim for the lower level. A writeback is
+// a Store request with a nil OnDone (see drainSendQ).
+func (c *Cache) writebackVictim(v *line, cycle uint64) {
+	c.Stats.WritebacksOut++
+	c.sendQ = append(c.sendQ, &Req{
+		LineAddr:  v.addr,
+		VLineAddr: v.vaddr,
+		Store:     true,
+		notBefore: cycle,
+		FillLevel: c.cfg.Level + 1,
+	})
+}
+
+// processWrites handles writebacks arriving from above (and demand stores
+// at L1D, which the core sends through AcceptDemand as stores).
+func (c *Cache) processWrites(cycle uint64) {
+	ports := c.cfg.WritePorts
+	for ports > 0 && len(c.wq) > 0 {
+		r := c.wq[0]
+		if r.notBefore > cycle {
+			break
+		}
+		// Writeback data: install (non-inclusive back-fill) or update.
+		if l := c.probe(r.LineAddr); l != nil {
+			l.dirty = true
+			c.touch(l)
+		} else {
+			v := c.victim(r.LineAddr)
+			if v.valid {
+				if v.prefetched {
+					c.Stats.PrefUseless++
+				}
+				if v.dirty {
+					c.writebackVictim(v, cycle)
+				}
+			}
+			*v = line{addr: r.LineAddr, vaddr: r.VLineAddr, valid: true, dirty: true}
+			c.insertRepl(v, r.LineAddr)
+		}
+		c.wq = c.wq[1:]
+		ports--
+	}
+}
+
+// processReads services read-queue entries, demands strictly before
+// prefetch-originated reads so prefetch bursts from the level above never
+// delay demand misses.
+func (c *Cache) processReads(cycle uint64) {
+	ports := c.cfg.ReadPorts
+	for _, wantPrefetch := range [2]bool{false, true} {
+		idx := 0
+		for ports > 0 && idx < len(c.rq) {
+			r := c.rq[idx]
+			if r.notBefore > cycle || r.IsPrefetch != wantPrefetch {
+				idx++
+				continue
+			}
+			done, consumed := c.serviceRead(r, cycle)
+			if !done {
+				// MSHR full: stall this and subsequent requests.
+				c.Stats.MSHRFullStalls++
+				return
+			}
+			if consumed {
+				c.rq = append(c.rq[:idx], c.rq[idx+1:]...)
+			} else {
+				idx++
+			}
+			ports--
+		}
+	}
+}
+
+// serviceRead handles one demand read. Returns done=false when the request
+// must be retried (MSHR full).
+func (c *Cache) serviceRead(r *Req, cycle uint64) (done, consumed bool) {
+	if !r.IsPrefetch {
+		c.Stats.DemandAccesses++
+	}
+	l := c.probe(r.LineAddr)
+	if l != nil {
+		// Hit.
+		if !r.IsPrefetch {
+			c.Stats.DemandHits++
+		}
+		pfHit := l.prefetched
+		pfLat := l.pfLatency
+		if pfHit && !r.IsPrefetch {
+			c.Stats.PrefUseful++
+			l.prefetched = false
+		}
+		c.touch(l)
+		if r.Store {
+			l.dirty = true
+		}
+		if c.pf != nil && !r.IsPrefetch {
+			c.firePrefetcher(AccessEvent{
+				Cycle:       cycle,
+				IP:          r.IP,
+				LineAddr:    c.trainAddr(r.VLineAddr, r.LineAddr),
+				PLineAddr:   r.LineAddr,
+				IsStore:     r.Store,
+				Hit:         true,
+				PrefetchHit: pfHit,
+				PfLatency:   pfLat,
+			}, cycle)
+			if pfHit {
+				// Latency consumed by the training search; reset.
+				l.pfLatency = 0
+			}
+		}
+		if r.OnDone != nil {
+			r.OnDone(cycle + c.cfg.LatencyCyc)
+		}
+		return true, true
+	}
+
+	// Miss. Merge into an existing MSHR if the line is in flight. Only
+	// the primary miss of a line counts toward DemandMisses and trains
+	// the prefetcher; secondary (merged) misses are bookkeeping.
+	if m := c.findMSHR(r.LineAddr); m != nil {
+		if !r.IsPrefetch {
+			c.Stats.MSHRMerges++
+			if m.isPrefetch && !m.demandMerged {
+				// Late prefetch: the first demand arrived while the
+				// prefetch was in flight. This would have been a miss
+				// without the prefetcher, so it counts and trains. The
+				// in-flight request is promoted to demand priority all
+				// the way down.
+				c.Stats.DemandMisses++
+				c.Stats.PrefLate++
+				c.Promote(r.LineAddr)
+				m.demandMerged = true
+				m.ip = r.IP
+				m.vline = r.VLineAddr
+				// Latency for training restarts at the demand.
+				m.issueCycle = cycle
+				c.fireMissEvent(r, cycle)
+			}
+			if r.Store {
+				m.isStore = true
+			}
+			if m.fillLevel > r.FillLevel {
+				m.fillLevel = r.FillLevel
+			}
+		}
+		if r.OnDone != nil {
+			m.waiters = append(m.waiters, r.OnDone)
+		}
+		return true, true
+	}
+
+	m := c.allocMSHR()
+	if m == nil {
+		return false, false
+	}
+	if !r.IsPrefetch {
+		c.Stats.DemandMisses++
+		c.drripMissUpdate(r.LineAddr)
+		c.fireMissEvent(r, cycle)
+	}
+	*m = mshr{
+		valid:      true,
+		lineAddr:   r.LineAddr,
+		vline:      r.VLineAddr,
+		ip:         r.IP,
+		isPrefetch: r.IsPrefetch,
+		fillLevel:  r.FillLevel,
+		isStore:    r.Store,
+		issueCycle: cycle,
+	}
+	if r.OnDone != nil {
+		m.waiters = append(m.waiters, r.OnDone)
+	}
+	c.forwardDown(m, cycle)
+	return true, true
+}
+
+// fireMissEvent notifies the prefetcher of a demand miss access.
+func (c *Cache) fireMissEvent(r *Req, cycle uint64) {
+	if c.pf == nil {
+		return
+	}
+	c.firePrefetcher(AccessEvent{
+		Cycle:     cycle,
+		IP:        r.IP,
+		LineAddr:  c.trainAddr(r.VLineAddr, r.LineAddr),
+		PLineAddr: r.LineAddr,
+		IsStore:   r.Store,
+		Hit:       false,
+	}, cycle)
+}
+
+// firePrefetcher invokes OnAccess and enqueues returned prefetches.
+func (c *Cache) firePrefetcher(ev AccessEvent, cycle uint64) {
+	ev.MSHROccupancy = c.MSHROccupancy()
+	ev.MSHRCap = c.cfg.MSHRs
+	reqs := c.pf.OnAccess(ev)
+	if len(reqs) > 0 {
+		c.EnqueuePrefetches(reqs, cycle, ev.LineAddr>>(12-LineShift))
+	}
+}
+
+// forwardDown queues the miss to the lower level.
+func (c *Cache) forwardDown(m *mshr, cycle uint64) {
+	lineAddr := m.lineAddr
+	req := &Req{
+		LineAddr:   m.lineAddr,
+		VLineAddr:  m.vline,
+		IP:         m.ip,
+		IsPrefetch: m.isPrefetch,
+		FillLevel:  m.fillLevel,
+		notBefore:  cycle,
+		OnDone: func(done uint64) {
+			// Locate the entry again: the MSHR array is stable.
+			if mm := c.findMSHR(lineAddr); mm != nil {
+				mm.dataReady = true
+				mm.readyCycle = done
+			}
+		},
+	}
+	c.sendQ = append(c.sendQ, req)
+}
+
+// processPrefetches services the PQ: tag-check and forward misses.
+func (c *Cache) processPrefetches(cycle uint64) {
+	// One prefetch processed per cycle (PQ is FIFO per the paper).
+	for len(c.pq) > 0 {
+		e := c.pq[0]
+		if e.notBefore > cycle {
+			return
+		}
+		if c.probe(e.pline) != nil || c.findMSHR(e.pline) != nil {
+			c.Stats.PrefDropped++
+			c.pq = c.pq[1:]
+			continue
+		}
+		if c.cfg.Level >= e.fillLevel {
+			// This level will install the line: needs an MSHR.
+			// Prefetches may not take the last quarter of the MSHRs —
+			// that headroom is reserved for demand misses so a
+			// prefetch burst can never starve the demand path.
+			if c.MSHROccupancy() >= c.cfg.MSHRs-c.cfg.MSHRs/4 {
+				return // retry next cycle
+			}
+			m := c.allocMSHR()
+			if m == nil {
+				return // retry next cycle
+			}
+			*m = mshr{
+				valid:      true,
+				lineAddr:   e.pline,
+				vline:      e.vline,
+				isPrefetch: true,
+				fillLevel:  e.fillLevel,
+				issueCycle: e.issue, // PQ timestamp transfers to the MSHR
+			}
+			c.forwardDown(m, cycle)
+		} else {
+			// Fill is below this level: hand the request straight to
+			// the lower level so it can never block demand misses
+			// queued in sendQ. If the lower level is full, retry next
+			// cycle (the PQ itself is the bounded buffer).
+			ok := c.lower.AcceptRead(&Req{
+				LineAddr:   e.pline,
+				VLineAddr:  e.vline,
+				IsPrefetch: true,
+				FillLevel:  e.fillLevel,
+				notBefore:  cycle,
+			}, cycle)
+			if !ok {
+				return
+			}
+			c.TrafficDown++
+		}
+		c.pq = c.pq[1:]
+		return // one per cycle
+	}
+}
+
+// drainSendQ pushes queued downstream requests into the lower level.
+// Prefetch requests that the lower level cannot accept are skipped rather
+// than blocking the demand misses and writebacks queued behind them.
+func (c *Cache) drainSendQ(cycle uint64) {
+	idx := 0
+	for idx < len(c.sendQ) {
+		r := c.sendQ[idx]
+		if r.notBefore > cycle {
+			return
+		}
+		var ok bool
+		if r.Store && r.OnDone == nil {
+			ok = c.lower.AcceptWrite(r, cycle)
+			if ok {
+				c.WBDown++
+			}
+		} else {
+			ok = c.lower.AcceptRead(r, cycle)
+			if ok {
+				c.TrafficDown++
+			}
+		}
+		if !ok {
+			if r.IsPrefetch {
+				idx++ // skip: retry next cycle without blocking demands
+				continue
+			}
+			return
+		}
+		c.sendQ = append(c.sendQ[:idx], c.sendQ[idx+1:]...)
+	}
+}
+
+// Promote implements Lower: upgrade in-flight prefetches for the line to
+// demand priority here and below.
+func (c *Cache) Promote(lineAddr uint64) {
+	for _, r := range c.sendQ {
+		if r.LineAddr == lineAddr {
+			r.IsPrefetch = false
+		}
+	}
+	for _, r := range c.rq {
+		if r.LineAddr == lineAddr {
+			r.IsPrefetch = false
+		}
+	}
+	if c.lower != nil {
+		c.lower.Promote(lineAddr)
+	}
+}
+
+// Drained reports whether all queues and MSHRs are empty.
+func (c *Cache) Drained() bool {
+	if len(c.rq) > 0 || len(c.wq) > 0 || len(c.pq) > 0 || len(c.sendQ) > 0 {
+		return false
+	}
+	for i := range c.mshrs {
+		if c.mshrs[i].valid {
+			return false
+		}
+	}
+	return true
+}
+
+// FlushMetadata clears prefetch bits (between warmup and measurement the
+// stats are reset but cache contents persist).
+func (c *Cache) ResetStats() {
+	name := c.Stats.Name
+	c.Stats = stats.CacheStats{Name: name}
+	c.TrafficDown = 0
+	c.WBDown = 0
+}

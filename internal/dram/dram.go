@@ -1,0 +1,327 @@
+// Package dram models a DRAM channel with banks, 4 KB row buffers, an open
+// page policy, and FR-FCFS scheduling with read priority and a write-drain
+// watermark, following Table II of the paper.
+//
+// The model produces variable access latency from three sources the paper
+// calls out: row-buffer state (hit / closed / conflict), bank conflicts,
+// and read/write queue contention — the variability Berti's latency
+// measurement is designed to track.
+package dram
+
+import (
+	"github.com/bertisim/berti/internal/stats"
+)
+
+// Config describes one DRAM channel feeding the LLC.
+type Config struct {
+	// Banks per channel.
+	Banks int
+	// RowBytes is the row-buffer size per bank (4 KB per Table II).
+	RowBytes uint64
+	// TRP, TRCD, TCAS in core cycles (12.5 ns at 4 GHz = 50 cycles each).
+	TRP, TRCD, TCAS uint64
+	// BurstCycles is the core-cycle occupancy of the data bus for one
+	// 64-byte line (depends on MTPS: DDR5-6400 → 5, DDR4-3200 → 10,
+	// DDR3-1600 → 20 at a 4 GHz core).
+	BurstCycles uint64
+	// ExtraLatency is the fixed controller/PHY/IO round-trip overhead
+	// added to every access (core cycles).
+	ExtraLatency uint64
+	// RQSize and WQSize are the read/write queue capacities.
+	RQSize, WQSize int
+	// WriteWatermarkNum/Den: drain writes when WQ occupancy exceeds
+	// Num/Den of capacity (7/8 per Table II).
+	WriteWatermarkNum, WriteWatermarkDen int
+}
+
+// MTPS presets; one channel per four cores, 4 GHz core clock.
+
+// ConfigDDR5_6400 is the paper's default channel.
+func ConfigDDR5_6400() Config { return configWithBurst(5) }
+
+// ConfigDDR4_3200 is the constrained-bandwidth midpoint of Section IV-F.
+func ConfigDDR4_3200() Config { return configWithBurst(10) }
+
+// ConfigDDR3_1600 is the most constrained channel of Section IV-F.
+func ConfigDDR3_1600() Config { return configWithBurst(20) }
+
+func configWithBurst(burst uint64) Config {
+	return Config{
+		Banks:             16,
+		RowBytes:          4096,
+		TRP:               50,
+		TRCD:              50,
+		TCAS:              50,
+		ExtraLatency:      60,
+		BurstCycles:       burst,
+		RQSize:            64,
+		WQSize:            64,
+		WriteWatermarkNum: 7,
+		WriteWatermarkDen: 8,
+	}
+}
+
+// Request is one line-sized DRAM transaction.
+type Request struct {
+	LineAddr uint64 // physical line address (byte addr >> 6)
+	Write    bool
+	// IsPrefetch demotes the request below all demand reads in the
+	// scheduler (real controllers prioritize demand traffic).
+	IsPrefetch bool
+	// OnComplete is invoked with the cycle at which the data transfer
+	// finishes (nil for writes, which are posted).
+	OnComplete   func(doneCycle uint64)
+	enqueueCycle uint64
+}
+
+type bank struct {
+	openRow  uint64
+	rowValid bool
+	ready    uint64 // cycle at which the bank can accept a new command
+}
+
+// transfer is a scheduled column access waiting for the data bus.
+type transfer struct {
+	lineAddr uint64
+	eligible uint64 // cycle the bank has the data ready
+	write    bool
+	prefetch bool
+	onDone   func(uint64)
+}
+
+// Channel is one DRAM channel. Commands and data transfers are decoupled:
+// banks activate and read in parallel, and only the burst occupies the
+// shared data bus, so a row miss on one bank never stalls transfers from
+// other banks.
+type Channel struct {
+	cfg       Config
+	banks     []bank
+	rq        []*Request
+	wq        []*Request
+	transfers []transfer
+	busFree   uint64
+	draining  bool
+	Stats     stats.DRAMStats
+}
+
+// NewChannel builds a channel from cfg.
+func NewChannel(cfg Config) *Channel {
+	return &Channel{
+		cfg:   cfg,
+		banks: make([]bank, cfg.Banks),
+	}
+}
+
+// lineAddr is a 64-byte line address; map to bank and row.
+func (c *Channel) decode(lineAddr uint64) (bankIdx int, row uint64) {
+	linesPerRow := c.cfg.RowBytes / 64
+	bankIdx = int((lineAddr / linesPerRow) % uint64(c.cfg.Banks))
+	row = lineAddr / linesPerRow / uint64(c.cfg.Banks)
+	return bankIdx, row
+}
+
+// EnqueueRead attempts to add a read; returns false when the RQ is full.
+func (c *Channel) EnqueueRead(r *Request, cycle uint64) bool {
+	// Forward from the write queue: a read that matches a queued write
+	// is serviced immediately from the WQ data.
+	for _, w := range c.wq {
+		if w.LineAddr == r.LineAddr {
+			if r.OnComplete != nil {
+				r.OnComplete(cycle + 1)
+			}
+			return true
+		}
+	}
+	if len(c.rq) >= c.cfg.RQSize {
+		c.Stats.RQFullStalls++
+		return false
+	}
+	r.enqueueCycle = cycle
+	dbgRecord(r.LineAddr, 1, cycle)
+	c.rq = append(c.rq, r)
+	return true
+}
+
+// EnqueueWrite attempts to add a write; returns false when the WQ is full.
+func (c *Channel) EnqueueWrite(r *Request, cycle uint64) bool {
+	if len(c.wq) >= c.cfg.WQSize {
+		c.Stats.WQFullStalls++
+		return false
+	}
+	r.enqueueCycle = cycle
+	c.wq = append(c.wq, r)
+	return true
+}
+
+// RQOccupancy returns the current read-queue length.
+func (c *Channel) RQOccupancy() int { return len(c.rq) }
+
+// Tick advances the channel one cycle: schedule the data bus, then issue
+// bank commands.
+func (c *Channel) Tick(cycle uint64) {
+	c.serveBus(cycle)
+
+	// Write-drain hysteresis: start draining above the watermark, stop
+	// once the WQ is nearly empty or reads are waiting.
+	if len(c.wq)*c.cfg.WriteWatermarkDen >= c.cfg.WQSize*c.cfg.WriteWatermarkNum {
+		c.draining = true
+	}
+	if len(c.wq) == 0 || (c.draining && len(c.wq) < c.cfg.WQSize/4) {
+		c.draining = false
+	}
+
+	// Up to two bank commands per cycle (command bus is faster than one
+	// data burst per command anyway).
+	for n := 0; n < 2; n++ {
+		serveWrites := c.draining || len(c.rq) == 0
+		if serveWrites && len(c.wq) > 0 {
+			c.issue(&c.wq, cycle, true)
+			continue
+		}
+		if len(c.rq) > 0 {
+			c.issue(&c.rq, cycle, false)
+		}
+	}
+}
+
+// serveBus starts the oldest-eligible data burst when the bus is free.
+// Demand reads get the bus first, then prefetch reads, then writes.
+func (c *Channel) serveBus(cycle uint64) {
+	for c.busFree <= cycle {
+		best := -1
+		bestClass := -1
+		for i := range c.transfers {
+			t := &c.transfers[i]
+			if t.eligible > cycle {
+				continue
+			}
+			class := 0 // write
+			if !t.write {
+				class = 1 // prefetch read
+				if !t.prefetch {
+					class = 2 // demand read
+				}
+			}
+			if class > bestClass ||
+				(class == bestClass && t.eligible < c.transfers[best].eligible) {
+				best, bestClass = i, class
+			}
+		}
+		if best == -1 {
+			return
+		}
+		t := c.transfers[best]
+		c.transfers = append(c.transfers[:best], c.transfers[best+1:]...)
+		start := cycle
+		if c.busFree > start {
+			start = c.busFree
+		}
+		done := start + c.cfg.BurstCycles
+		c.busFree = done
+		c.Stats.BusyCycles += c.cfg.BurstCycles
+		dbgRecord(t.lineAddr, 3, done)
+		if t.onDone != nil {
+			t.onDone(done)
+		}
+	}
+}
+
+// issue picks the FR-FCFS best request from q and schedules it.
+func (c *Channel) issue(q *[]*Request, cycle uint64, write bool) {
+	// FR-FCFS: row hits first (open-page throughput), demand reads break
+	// ties within a class so prefetch bursts do not inflate demand
+	// latency, oldest first otherwise.
+	best := -1
+	bestScore := -1
+	for i, r := range *q {
+		b, row := c.decode(r.LineAddr)
+		bk := &c.banks[b]
+		if bk.ready > cycle {
+			continue
+		}
+		hit := bk.rowValid && bk.openRow == row
+		score := 0
+		if hit {
+			score += 2
+		}
+		if !r.IsPrefetch {
+			score++
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+			if score == 3 {
+				break // oldest demand row hit wins
+			}
+		}
+	}
+	if best == -1 {
+		return
+	}
+	r := (*q)[best]
+	*q = append((*q)[:best], (*q)[best+1:]...)
+
+	b, row := c.decode(r.LineAddr)
+	bk := &c.banks[b]
+	// lat is when this access's data is ready; bankBusy is how long the
+	// bank is blocked for the NEXT command. Row hits pipeline at column-
+	// command cadence (~ one burst), only activations serialize the bank.
+	var lat, bankBusy uint64
+	switch {
+	case bk.rowValid && bk.openRow == row:
+		lat = c.cfg.TCAS
+		bankBusy = c.cfg.BurstCycles
+		c.Stats.RowHits++
+	case !bk.rowValid:
+		lat = c.cfg.TRCD + c.cfg.TCAS
+		bankBusy = c.cfg.TRCD + c.cfg.BurstCycles
+		c.Stats.RowMisses++
+	default:
+		lat = c.cfg.TRP + c.cfg.TRCD + c.cfg.TCAS
+		bankBusy = c.cfg.TRP + c.cfg.TRCD + c.cfg.BurstCycles
+		c.Stats.RowConflicts++
+	}
+	bk.openRow, bk.rowValid = row, true
+
+	ready := cycle + lat + c.cfg.ExtraLatency
+	bk.ready = cycle + bankBusy
+	if write {
+		c.Stats.Writes++
+		// Posted write: occupies a future bus slot but needs no callback.
+		c.transfers = append(c.transfers, transfer{eligible: ready, write: true})
+		return
+	}
+	c.Stats.Reads++
+	dbgRecord(r.LineAddr, 2, cycle)
+	c.transfers = append(c.transfers, transfer{
+		lineAddr: r.LineAddr,
+		eligible: ready,
+		prefetch: r.IsPrefetch,
+		onDone:   r.OnComplete,
+	})
+}
+
+// DebugTimeline records per-line DRAM event times when enabled (tests).
+var DebugTimeline map[uint64][]uint64
+
+func dbgRecord(line uint64, tag, cycle uint64) {
+	if DebugTimeline != nil {
+		DebugTimeline[line] = append(DebugTimeline[line], tag, cycle)
+	}
+}
+
+// Promote upgrades queued prefetch reads for the line to demand priority.
+func (c *Channel) Promote(lineAddr uint64) {
+	for _, r := range c.rq {
+		if r.LineAddr == lineAddr {
+			r.IsPrefetch = false
+		}
+	}
+	for i := range c.transfers {
+		if c.transfers[i].lineAddr == lineAddr {
+			c.transfers[i].prefetch = false
+		}
+	}
+}
+
+// Pending reports whether any request is queued (used to drain simulations).
+func (c *Channel) Pending() bool { return len(c.rq) > 0 || len(c.wq) > 0 }

@@ -1,0 +1,72 @@
+// Package energy computes the dynamic energy of the memory hierarchy the
+// way the paper does (Section IV-A): per-access energies for each cache
+// level and DRAM (CACTI-P-class values at 22 nm and a Micron-calculator-
+// class DRAM access energy) multiplied by the simulator's access counts.
+//
+// Absolute joules are not the point — the paper's Figures 1(b) and 15 plot
+// energy normalized to a no-prefetching run, and that ratio is driven by
+// the per-level access counts, which our simulator measures directly.
+package energy
+
+import "github.com/bertisim/berti/internal/sim"
+
+// Model holds per-access dynamic energies in picojoules.
+type Model struct {
+	// Tag-only probe and full access energies per level.
+	L1DAccess float64
+	L1DTag    float64
+	L2Access  float64
+	L2Tag     float64
+	LLCAccess float64
+	LLCTag    float64
+	// DRAMAccess is the energy of one 64-byte line transfer including
+	// activation amortization and I/O.
+	DRAMAccess float64
+}
+
+// Default22nm returns CACTI-P-class values for the Table II geometries at
+// 22 nm (48 KB L1D, 512 KB L2, 2 MB LLC slice) and a DDR-class DRAM access
+// energy. Values in pJ per access.
+func Default22nm() Model {
+	return Model{
+		L1DAccess: 22, L1DTag: 4,
+		L2Access: 80, L2Tag: 9,
+		LLCAccess: 260, LLCTag: 20,
+		DRAMAccess: 15000,
+	}
+}
+
+// Breakdown is the per-level dynamic energy of one run, in picojoules.
+type Breakdown struct {
+	L1D, L2, LLC, DRAM float64
+}
+
+// Total returns the summed energy.
+func (b Breakdown) Total() float64 { return b.L1D + b.L2 + b.LLC + b.DRAM }
+
+// Compute folds a simulation result into a dynamic-energy breakdown.
+// Every access type the simulator counts is charged: demand lookups,
+// prefetch tag probes, fills (writes into the array), writebacks, and
+// DRAM reads/writes.
+func Compute(m Model, r *sim.Result) Breakdown {
+	var b Breakdown
+	for i := range r.Cores {
+		l1 := &r.Cores[i].L1D
+		b.L1D += float64(l1.DemandAccesses)*m.L1DAccess +
+			float64(l1.PrefTagProbe)*m.L1DTag +
+			float64(l1.TotalFills)*m.L1DAccess +
+			float64(l1.WritebacksOut)*m.L1DAccess
+		l2 := &r.Cores[i].L2
+		b.L2 += float64(l2.DemandAccesses)*m.L2Access +
+			float64(l2.PrefTagProbe)*m.L2Tag +
+			float64(l2.TotalFills+l2.PrefFills)*m.L2Access +
+			float64(l2.WritebacksIn+l2.WritebacksOut)*m.L2Access
+	}
+	llc := &r.LLC
+	b.LLC = float64(llc.DemandAccesses)*m.LLCAccess +
+		float64(llc.PrefTagProbe)*m.LLCTag +
+		float64(llc.TotalFills+llc.PrefFills)*m.LLCAccess +
+		float64(llc.WritebacksIn+llc.WritebacksOut)*m.LLCAccess
+	b.DRAM = float64(r.DRAM.Reads+r.DRAM.Writes) * m.DRAMAccess
+	return b
+}

@@ -1,0 +1,46 @@
+package energy
+
+import (
+	"testing"
+
+	"github.com/bertisim/berti/internal/sim"
+	"github.com/bertisim/berti/internal/stats"
+)
+
+func resultWith(l1Acc, dramReads uint64) *sim.Result {
+	r := &sim.Result{}
+	r.Cores = append(r.Cores, sim.CoreResult{
+		L1D: stats.CacheStats{DemandAccesses: l1Acc},
+	})
+	r.DRAM = stats.DRAMStats{Reads: dramReads}
+	return r
+}
+
+func TestEnergyScalesWithAccesses(t *testing.T) {
+	m := Default22nm()
+	small := Compute(m, resultWith(1000, 10))
+	big := Compute(m, resultWith(2000, 20))
+	if big.Total() <= small.Total() {
+		t.Fatal("energy must grow with access counts")
+	}
+	if big.L1D != 2*small.L1D {
+		t.Fatalf("L1D energy not linear: %f vs %f", big.L1D, small.L1D)
+	}
+}
+
+func TestDRAMDominatesPerAccess(t *testing.T) {
+	m := Default22nm()
+	if m.DRAMAccess < 10*m.LLCAccess {
+		t.Fatal("a DRAM access must cost far more than an LLC access")
+	}
+	if m.L1DAccess >= m.L2Access || m.L2Access >= m.LLCAccess {
+		t.Fatal("per-access energy must grow with capacity")
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{L1D: 1, L2: 2, LLC: 3, DRAM: 4}
+	if b.Total() != 10 {
+		t.Fatalf("total = %f", b.Total())
+	}
+}

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentProducesItsTable runs each experiment at a micro scale
+// and asserts the report contains its headline table — a wiring regression
+// test covering every table and figure target.
+func TestEveryExperimentProducesItsTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment (micro scale)")
+	}
+	micro := Scale{Name: "micro", MemRecords: 8_000, WarmupInstr: 6_000, SimInstr: 15_000, Mixes: 1}
+	h := New(micro)
+	wantFragment := map[string]string{
+		"Fig1Accuracy":            "Figure 1(a)",
+		"Fig1Energy":              "normalized to no prefetching",
+		"Fig3LocalVsGlobal":       "global best offset",
+		"Tab1Storage":             "2.55",
+		"Tab2Config":              "baseline system",
+		"Tab3PrefConfig":          "evaluated prefetchers",
+		"Fig7SpeedupVsStorage":    "storage",
+		"Fig8L1DSpeedup":          "speedup over IP-stride",
+		"Fig9PerTrace":            "per-workload",
+		"Fig10AccuracyTimeliness": "timely",
+		"Fig11MPKI":               "MPKI",
+		"Fig12MultiLevel":         "multi-level",
+		"Fig13MultiLevelMPKI":     "MPKI",
+		"Fig14Traffic":            "traffic",
+		"Fig15Energy":             "energy",
+		"Fig16BandwidthL1D":       "MTPS",
+		"Fig17BandwidthML":        "MTPS",
+		"Fig18CloudSuite":         "CloudSuite",
+		"Fig19MISB":               "MISB",
+		"Fig20MultiCore":          "4-core",
+		"Fig21Watermarks":         "watermark",
+		"Fig22TableSizes":         "table size",
+		"AblLatencyBits":          "latency counter",
+		"AblCrossPage":            "cross-page",
+		"AblIdealL1D":             "ideal",
+		"AblCalibration":          "calibration",
+		"AblPythia":               "Pythia",
+		"AblPerIP":                "per-page",
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			e.Run(h, &buf)
+			out := buf.String()
+			if out == "" {
+				t.Fatal("no output")
+			}
+			frag, ok := wantFragment[e.ID]
+			if !ok {
+				t.Fatalf("experiment %s missing from the format map — add it", e.ID)
+			}
+			if !strings.Contains(strings.ToLower(out), strings.ToLower(frag)) {
+				t.Fatalf("output of %s lacks %q:\n%s", e.ID, frag, out)
+			}
+		})
+	}
+}

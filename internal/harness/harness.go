@@ -1,0 +1,301 @@
+// Package harness runs the paper's experiments: it builds workload traces,
+// wires prefetcher configurations into simulated machines, memoizes
+// results, and renders the per-figure reports. Both cmd/experiments and the
+// repository benchmarks drive this package.
+package harness
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"github.com/bertisim/berti/internal/cache"
+	"github.com/bertisim/berti/internal/core"
+	"github.com/bertisim/berti/internal/dram"
+	"github.com/bertisim/berti/internal/metrics"
+	"github.com/bertisim/berti/internal/prefetch"
+	"github.com/bertisim/berti/internal/prefetch/oracle"
+	"github.com/bertisim/berti/internal/sim"
+	"github.com/bertisim/berti/internal/trace"
+	"github.com/bertisim/berti/internal/workloads"
+
+	// Populate the registries.
+	_ "github.com/bertisim/berti/internal/prefetch/all"
+	_ "github.com/bertisim/berti/internal/workloads/cloudlike"
+	_ "github.com/bertisim/berti/internal/workloads/gap"
+	_ "github.com/bertisim/berti/internal/workloads/speclike"
+)
+
+// Scale sizes the experiments. The paper simulates 50M warmup + 200M
+// instructions per trace; these scales preserve the methodology at
+// laptop-friendly sizes.
+type Scale struct {
+	Name        string
+	MemRecords  int
+	WarmupInstr uint64
+	SimInstr    uint64
+	Mixes       int // multi-core mixes evaluated
+}
+
+// Scales available via BERTI_SCALE (quick, default, full).
+var (
+	ScaleQuick   = Scale{Name: "quick", MemRecords: 120_000, WarmupInstr: 100_000, SimInstr: 250_000, Mixes: 4}
+	ScaleDefault = Scale{Name: "default", MemRecords: 300_000, WarmupInstr: 200_000, SimInstr: 600_000, Mixes: 8}
+	ScaleFull    = Scale{Name: "full", MemRecords: 1_000_000, WarmupInstr: 600_000, SimInstr: 2_000_000, Mixes: 20}
+)
+
+// ScaleFromEnv picks the scale from $BERTI_SCALE (default: ScaleDefault).
+func ScaleFromEnv() Scale {
+	switch os.Getenv("BERTI_SCALE") {
+	case "quick":
+		return ScaleQuick
+	case "full":
+		return ScaleFull
+	default:
+		return ScaleDefault
+	}
+}
+
+// RunSpec names one simulation: a workload (or multi-core mix), an L1D and
+// L2 prefetcher from the registry, and optional overrides.
+type RunSpec struct {
+	// Workload is a registry name (single core). For multi-core runs use
+	// Mix instead.
+	Workload string
+	// Mix lists one workload per core (multi-core heterogeneous mix).
+	Mix []string
+	// L1DPf / L2Pf are prefetch registry names; "" disables the level.
+	L1DPf string
+	L2Pf  string
+	// DRAMCfg overrides the channel ("" = DDR5-6400; "ddr4-3200",
+	// "ddr3-1600").
+	DRAMCfg string
+	// BertiOverride replaces the registry Berti config at L1D (the
+	// sensitivity studies). Only used when L1DPf == "berti".
+	BertiOverride *core.Config
+	// Seed perturbs trace generation (mixes use distinct seeds).
+	Seed int64
+}
+
+// key builds the memoization key.
+func (s RunSpec) key() string {
+	k := fmt.Sprintf("w=%s|mix=%v|l1=%s|l2=%s|dram=%s|seed=%d", s.Workload, s.Mix, s.L1DPf, s.L2Pf, s.DRAMCfg, s.Seed)
+	if s.BertiOverride != nil {
+		k += fmt.Sprintf("|berti=%+v", *s.BertiOverride)
+	}
+	return k
+}
+
+// Harness memoizes traces and simulation results across experiments.
+type Harness struct {
+	Scale Scale
+	// Workers bounds concurrent simulations (defaults to NumCPU).
+	Workers int
+
+	mu      sync.Mutex
+	traces  map[string]*trace.Slice
+	results map[string]*sim.Result
+	sem     chan struct{}
+	semOnce sync.Once
+}
+
+// New builds a harness at the given scale.
+func New(scale Scale) *Harness {
+	return &Harness{
+		Scale:   scale,
+		Workers: runtime.NumCPU(),
+		traces:  map[string]*trace.Slice{},
+		results: map[string]*sim.Result{},
+	}
+}
+
+// Trace returns the (memoized) trace for a workload.
+func (h *Harness) Trace(name string, seed int64) *trace.Slice {
+	key := fmt.Sprintf("%s|%d|%d", name, seed, h.Scale.MemRecords)
+	h.mu.Lock()
+	if t, ok := h.traces[key]; ok {
+		h.mu.Unlock()
+		return t
+	}
+	h.mu.Unlock()
+	w, ok := workloads.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("harness: unknown workload %q", name))
+	}
+	t := w.Gen(workloads.GenConfig{MemRecords: h.Scale.MemRecords, Seed: 42 + seed})
+	h.mu.Lock()
+	h.traces[key] = t
+	h.mu.Unlock()
+	return t
+}
+
+func (h *Harness) factory(name string, override *core.Config) sim.PrefetcherFactory {
+	if name == "" || name == "oracle" {
+		return nil // "oracle" is wired specially in Run (needs the trace)
+	}
+	if name == "berti" && override != nil {
+		cfg := *override
+		return func() cache.Prefetcher { return core.New(cfg) }
+	}
+	e, ok := prefetch.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("harness: unknown prefetcher %q", name))
+	}
+	return func() cache.Prefetcher { return e.New() }
+}
+
+func dramConfig(name string) dram.Config {
+	switch name {
+	case "", "ddr5-6400":
+		return dram.ConfigDDR5_6400()
+	case "ddr4-3200":
+		return dram.ConfigDDR4_3200()
+	case "ddr3-1600":
+		return dram.ConfigDDR3_1600()
+	default:
+		panic(fmt.Sprintf("harness: unknown DRAM config %q", name))
+	}
+}
+
+func (h *Harness) acquire() func() {
+	h.semOnce.Do(func() {
+		n := h.Workers
+		if n < 1 {
+			n = 1
+		}
+		h.sem = make(chan struct{}, n)
+	})
+	h.sem <- struct{}{}
+	return func() { <-h.sem }
+}
+
+// Run executes (or returns the memoized result of) one simulation.
+func (h *Harness) Run(spec RunSpec) *sim.Result {
+	key := spec.key()
+	h.mu.Lock()
+	if r, ok := h.results[key]; ok {
+		h.mu.Unlock()
+		return r
+	}
+	h.mu.Unlock()
+
+	release := h.acquire()
+	defer release()
+	// Re-check after acquiring (another worker may have finished it).
+	h.mu.Lock()
+	if r, ok := h.results[key]; ok {
+		h.mu.Unlock()
+		return r
+	}
+	h.mu.Unlock()
+
+	cfg := sim.DefaultConfig()
+	cfg.DRAM = dramConfig(spec.DRAMCfg)
+	cfg.WarmupInstructions = h.Scale.WarmupInstr
+	cfg.SimInstructions = h.Scale.SimInstr
+
+	var readers []trace.Reader
+	var traces []*trace.Slice
+	if len(spec.Mix) > 0 {
+		cfg.Cores = len(spec.Mix)
+		for i, w := range spec.Mix {
+			tr := h.Trace(w, spec.Seed+int64(i))
+			traces = append(traces, tr)
+			readers = append(readers, trace.NewLoopReader(tr))
+		}
+	} else {
+		cfg.Cores = 1
+		tr := h.Trace(spec.Workload, spec.Seed)
+		traces = append(traces, tr)
+		readers = append(readers, trace.NewLoopReader(tr))
+	}
+	l1Factory := h.factory(spec.L1DPf, spec.BertiOverride)
+	if spec.L1DPf == "oracle" {
+		// The ideal L1D prefetcher reads the trace's future; each core
+		// gets an oracle over its own trace.
+		next := 0
+		l1Factory = func() cache.Prefetcher {
+			tr := traces[next%len(traces)]
+			next++
+			return oracle.New(tr, 24)
+		}
+	}
+	m := sim.New(cfg, readers, l1Factory, h.factory(spec.L2Pf, nil))
+	r := m.Run()
+
+	h.mu.Lock()
+	h.results[key] = r
+	h.mu.Unlock()
+	return r
+}
+
+// RunMany executes specs concurrently and returns results in order.
+func (h *Harness) RunMany(specs []RunSpec) []*sim.Result {
+	out := make([]*sim.Result, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = h.Run(specs[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// MemIntSuite returns the memory-intensive workloads of a suite ("spec",
+// "gap") or of both when suite is "all".
+func MemIntSuite(suite string) []string {
+	var out []string
+	for _, w := range workloads.All() {
+		if !w.MemIntensive {
+			continue
+		}
+		if suite == "all" && (w.Suite == "spec" || w.Suite == "gap") {
+			out = append(out, w.Name)
+		} else if w.Suite == suite {
+			out = append(out, w.Name)
+		}
+	}
+	return out
+}
+
+// CloudSuiteNames returns the CloudSuite-like workloads.
+func CloudSuiteNames() []string {
+	var out []string
+	for _, w := range workloads.All() {
+		if w.Suite == "cloud" {
+			out = append(out, w.Name)
+		}
+	}
+	return out
+}
+
+// SpeedupOver computes r's IPC over base's IPC (single core).
+func SpeedupOver(r, base *sim.Result) float64 {
+	if base.IPC() == 0 {
+		return 0
+	}
+	return r.IPC() / base.IPC()
+}
+
+// GeomeanSpeedup runs pf and the baseline over every workload and returns
+// the geometric-mean speedup (the paper's headline metric: speedup over an
+// L1D with IP-stride).
+func (h *Harness) GeomeanSpeedup(names []string, spec func(w string) RunSpec, base func(w string) RunSpec) float64 {
+	ratios := make([]float64, len(names))
+	var wg sync.WaitGroup
+	for i, w := range names {
+		wg.Add(1)
+		go func(i int, w string) {
+			defer wg.Done()
+			r := h.Run(spec(w))
+			b := h.Run(base(w))
+			ratios[i] = SpeedupOver(r, b)
+		}(i, w)
+	}
+	wg.Wait()
+	return metrics.Geomean(ratios)
+}

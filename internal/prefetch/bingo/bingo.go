@@ -1,0 +1,252 @@
+// Package bingo implements the Bingo spatial prefetcher (Bakhshalipour et
+// al., HPCA 2019): it associates the footprint of a 2 KB region with both a
+// long event (PC+Address) and a short event (PC+Offset) in a single pattern
+// history table, looking up the most specific event that hits.
+package bingo
+
+import "github.com/bertisim/berti/internal/cache"
+
+// RegionLines is the number of 64-byte lines in a 2 KB region.
+const RegionLines = 32
+
+// Config parameterizes Bingo (Table III: 2 KB regions, 64/128/4K-entry
+// FT/AT/PHT).
+type Config struct {
+	FTEntries  int
+	ATEntries  int
+	PHTEntries int
+	PHTWays    int
+	FillLevel  cache.Level
+}
+
+// DefaultConfig follows Table III.
+func DefaultConfig() Config {
+	return Config{FTEntries: 64, ATEntries: 128, PHTEntries: 4096, PHTWays: 16, FillLevel: cache.L2}
+}
+
+// ftEntry is a filter-table entry: a region seen exactly once.
+type ftEntry struct {
+	valid  bool
+	region uint64
+	pc     uint64
+	offset int
+	lru    uint64
+}
+
+// atEntry is an accumulation-table entry: an active region's footprint.
+type atEntry struct {
+	valid  bool
+	region uint64
+	pc     uint64
+	offset int
+	bitmap uint32
+	lru    uint64
+}
+
+// phtEntry is one pattern-history-table way.
+type phtEntry struct {
+	valid   bool
+	longTag uint64 // hash of PC+Address (trigger line)
+	bitmap  uint32
+	lru     uint64
+}
+
+// Prefetcher is the Bingo prefetcher.
+type Prefetcher struct {
+	cfg     Config
+	ft      []ftEntry
+	at      []atEntry
+	pht     []phtEntry // PHTEntries/PHTWays sets x PHTWays
+	lru     uint64
+	scratch []cache.PrefetchReq
+}
+
+// New builds a Bingo prefetcher.
+func New(cfg Config) *Prefetcher {
+	return &Prefetcher{
+		cfg: cfg,
+		ft:  make([]ftEntry, cfg.FTEntries),
+		at:  make([]atEntry, cfg.ATEntries),
+		pht: make([]phtEntry, cfg.PHTEntries),
+	}
+}
+
+// Name implements cache.Prefetcher.
+func (p *Prefetcher) Name() string { return "bingo" }
+
+// StorageBits implements cache.Prefetcher: Bingo is the heavyweight
+// baseline (~46 KB per the paper's Fig. 7 placement).
+func (p *Prefetcher) StorageBits() int {
+	ftBits := p.cfg.FTEntries * (30 + 16 + 5)
+	atBits := p.cfg.ATEntries * (30 + 16 + 5 + RegionLines)
+	phtBits := p.cfg.PHTEntries * (30 + RegionLines + 4)
+	return ftBits + atBits + phtBits
+}
+
+// shortEvent hashes PC+Offset; longEvent hashes PC+Address.
+func shortEvent(pc uint64, offset int) uint64 {
+	return (pc << 5) ^ uint64(offset)
+}
+
+func longEvent(pc, line uint64) uint64 {
+	return pc ^ (line << 7) ^ line>>11
+}
+
+// phtSet returns the set slice for a short event.
+func (p *Prefetcher) phtSet(ev uint64) []phtEntry {
+	sets := p.cfg.PHTEntries / p.cfg.PHTWays
+	s := int(ev % uint64(sets))
+	return p.pht[s*p.cfg.PHTWays : (s+1)*p.cfg.PHTWays]
+}
+
+// OnAccess implements cache.Prefetcher.
+func (p *Prefetcher) OnAccess(ev cache.AccessEvent) []cache.PrefetchReq {
+	if ev.Hit && !ev.PrefetchHit {
+		return nil
+	}
+	region := ev.LineAddr / RegionLines
+	offset := int(ev.LineAddr % RegionLines)
+	p.lru++
+
+	// Already accumulating?
+	if a := p.findAT(region); a != nil {
+		a.bitmap |= 1 << offset
+		a.lru = p.lru
+		return nil
+	}
+	// Second access to a filtered region: promote FT -> AT.
+	if f := p.findFT(region); f != nil {
+		a := p.victimAT()
+		if a.valid {
+			p.commit(a) // evicted region's footprint trains the PHT
+		}
+		*a = atEntry{
+			valid:  true,
+			region: region,
+			pc:     f.pc,
+			offset: f.offset,
+			bitmap: uint32(1)<<f.offset | uint32(1)<<offset,
+			lru:    p.lru,
+		}
+		f.valid = false
+		return nil
+	}
+	// Trigger access: allocate FT and predict from the PHT.
+	f := p.victimFT()
+	*f = ftEntry{valid: true, region: region, pc: ev.IP, offset: offset, lru: p.lru}
+	return p.predict(ev.IP, ev.LineAddr, region, offset)
+}
+
+func (p *Prefetcher) findFT(region uint64) *ftEntry {
+	for i := range p.ft {
+		if p.ft[i].valid && p.ft[i].region == region {
+			return &p.ft[i]
+		}
+	}
+	return nil
+}
+
+func (p *Prefetcher) victimFT() *ftEntry {
+	v := &p.ft[0]
+	for i := range p.ft {
+		if !p.ft[i].valid {
+			return &p.ft[i]
+		}
+		if p.ft[i].lru < v.lru {
+			v = &p.ft[i]
+		}
+	}
+	return v
+}
+
+func (p *Prefetcher) findAT(region uint64) *atEntry {
+	for i := range p.at {
+		if p.at[i].valid && p.at[i].region == region {
+			return &p.at[i]
+		}
+	}
+	return nil
+}
+
+func (p *Prefetcher) victimAT() *atEntry {
+	v := &p.at[0]
+	for i := range p.at {
+		if !p.at[i].valid {
+			return &p.at[i]
+		}
+		if p.at[i].lru < v.lru {
+			v = &p.at[i]
+		}
+	}
+	return v
+}
+
+// commit stores a finished region's footprint in the PHT under its trigger
+// events.
+func (p *Prefetcher) commit(a *atEntry) {
+	se := shortEvent(a.pc, a.offset)
+	le := longEvent(a.pc, a.region*RegionLines+uint64(a.offset))
+	set := p.phtSet(se)
+	victim := &set[0]
+	for i := range set {
+		if set[i].valid && set[i].longTag == le {
+			victim = &set[i]
+			break
+		}
+		if !set[i].valid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	p.lru++
+	*victim = phtEntry{valid: true, longTag: le, bitmap: a.bitmap, lru: p.lru}
+}
+
+// predict looks up PC+Address first, then falls back to PC+Offset, and
+// prefetches the stored footprint anchored at the region base.
+func (p *Prefetcher) predict(pc, line, region uint64, offset int) []cache.PrefetchReq {
+	se := shortEvent(pc, offset)
+	le := longEvent(pc, line)
+	set := p.phtSet(se)
+	var match *phtEntry
+	// Long event (most specific) first.
+	for i := range set {
+		if set[i].valid && set[i].longTag == le {
+			match = &set[i]
+			break
+		}
+	}
+	if match == nil {
+		// Short event: any way in the set (union of footprints would
+		// also be reasonable; most-recent is what Bingo reports works
+		// best).
+		for i := range set {
+			if set[i].valid && (match == nil || set[i].lru > match.lru) {
+				match = &set[i]
+			}
+		}
+	}
+	if match == nil {
+		return nil
+	}
+	p.lru++
+	match.lru = p.lru
+	p.scratch = p.scratch[:0]
+	base := region * RegionLines
+	for b := 0; b < RegionLines; b++ {
+		if match.bitmap&(1<<b) == 0 || b == offset {
+			continue
+		}
+		p.scratch = append(p.scratch, cache.PrefetchReq{
+			LineAddr:  base + uint64(b),
+			FillLevel: p.cfg.FillLevel,
+		})
+	}
+	return p.scratch
+}
+
+// OnFill implements cache.Prefetcher.
+func (p *Prefetcher) OnFill(cache.FillEvent) {}

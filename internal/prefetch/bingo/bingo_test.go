@@ -1,0 +1,57 @@
+package bingo
+
+import (
+	"testing"
+
+	"github.com/bertisim/berti/internal/cache"
+)
+
+func TestFootprintReplay(t *testing.T) {
+	p := New(DefaultConfig())
+	const pc = 0x400abc
+	// Visit region 10 with a distinctive footprint.
+	region := uint64(10)
+	footprint := []uint64{0, 3, 5, 9, 17}
+	for _, off := range footprint {
+		p.OnAccess(cache.AccessEvent{IP: pc, LineAddr: region*RegionLines + off, Hit: false})
+	}
+	// Force the AT entry out by touching many other regions twice.
+	for r := uint64(100); r < 100+uint64(DefaultConfig().ATEntries)+4; r++ {
+		p.OnAccess(cache.AccessEvent{IP: pc + 1, LineAddr: r * RegionLines, Hit: false})
+		p.OnAccess(cache.AccessEvent{IP: pc + 1, LineAddr: r*RegionLines + 1, Hit: false})
+	}
+	// Trigger a fresh region with the same PC+offset event: the recorded
+	// footprint should replay (anchored at the new region base).
+	newRegion := uint64(5000)
+	reqs := p.OnAccess(cache.AccessEvent{IP: pc, LineAddr: newRegion * RegionLines, Hit: false})
+	if len(reqs) == 0 {
+		t.Fatal("no footprint replay")
+	}
+	want := map[uint64]bool{}
+	for _, off := range footprint[1:] { // trigger offset itself excluded
+		want[newRegion*RegionLines+off] = true
+	}
+	for _, r := range reqs {
+		if !want[r.LineAddr] {
+			t.Fatalf("unexpected prefetch %d (region-relative %d)", r.LineAddr, r.LineAddr%RegionLines)
+		}
+		delete(want, r.LineAddr)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing footprint lines: %v", want)
+	}
+}
+
+func TestNoReplayWithoutHistory(t *testing.T) {
+	p := New(DefaultConfig())
+	reqs := p.OnAccess(cache.AccessEvent{IP: 1, LineAddr: 999 * RegionLines, Hit: false})
+	if len(reqs) != 0 {
+		t.Fatalf("cold PHT must not prefetch, got %v", reqs)
+	}
+}
+
+func TestFillLevelIsL2(t *testing.T) {
+	if DefaultConfig().FillLevel != cache.L2 {
+		t.Fatal("Bingo is an L2 prefetcher in the paper's evaluation")
+	}
+}

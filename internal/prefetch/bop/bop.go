@@ -1,0 +1,148 @@
+// Package bop implements Best-Offset Prefetching (Michaud, HPCA 2016), the
+// DPC-2 winner: a degree-one prefetcher that learns the single global
+// offset maximizing timely coverage, using a recent-requests (RR) table to
+// test whether X - offset was recently demanded when X arrives.
+package bop
+
+import "github.com/bertisim/berti/internal/cache"
+
+// offsetList is Michaud's 52-offset candidate list: integers of the form
+// 2^i * 3^j * 5^k up to 256 (positive only, as in the original design).
+var offsetList = buildOffsets()
+
+func buildOffsets() []int64 {
+	var out []int64
+	for n := int64(1); n <= 256; n++ {
+		m := n
+		for _, f := range []int64{2, 3, 5} {
+			for m%f == 0 {
+				m /= f
+			}
+		}
+		if m == 1 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Config parameterizes BOP.
+type Config struct {
+	// RRSize is the recent-requests table size (direct mapped).
+	RRSize int
+	// ScoreMax ends a learning round when a score saturates (31).
+	ScoreMax int
+	// RoundMax ends a learning round after this many updates (100).
+	RoundMax int
+	// BadScore disables prefetching when the best score is below it (1).
+	BadScore int
+	// FillLevel is where prefetches land (L2 in the original; L1D when
+	// deployed as an L1D prefetcher).
+	FillLevel cache.Level
+}
+
+// DefaultConfig follows the HPCA 2016 parameters.
+func DefaultConfig() Config {
+	return Config{RRSize: 64, ScoreMax: 31, RoundMax: 100, BadScore: 1, FillLevel: cache.L1D}
+}
+
+// Prefetcher is the BOP prefetcher.
+type Prefetcher struct {
+	cfg Config
+	rr  []uint64 // RR table: line addresses (direct-mapped, 0 = empty)
+
+	scores    []int
+	testIdx   int // next offset index to test
+	roundLen  int
+	bestOff   int64
+	bestScore int
+	active    bool
+}
+
+// New builds a BOP prefetcher.
+func New(cfg Config) *Prefetcher {
+	return &Prefetcher{
+		cfg:     cfg,
+		rr:      make([]uint64, cfg.RRSize),
+		scores:  make([]int, len(offsetList)),
+		bestOff: 1,
+		active:  true,
+	}
+}
+
+// Name implements cache.Prefetcher.
+func (p *Prefetcher) Name() string { return "bop" }
+
+// StorageBits implements cache.Prefetcher: RR tags (12b each) + scores
+// (5b x 52) + control.
+func (p *Prefetcher) StorageBits() int {
+	return p.cfg.RRSize*12 + len(offsetList)*5 + 16
+}
+
+func (p *Prefetcher) rrIndex(line uint64) int {
+	h := line ^ line>>8 ^ line>>16
+	return int(h % uint64(len(p.rr)))
+}
+
+func (p *Prefetcher) rrInsert(line uint64) { p.rr[p.rrIndex(line)] = line }
+
+func (p *Prefetcher) rrHit(line uint64) bool { return p.rr[p.rrIndex(line)] == line }
+
+// BestOffset exposes the learned global offset (Fig. 3 harness).
+func (p *Prefetcher) BestOffset() int64 { return p.bestOff }
+
+// OnAccess implements cache.Prefetcher: one offset is tested per demand
+// access (misses and prefetched hits, per the original proposal).
+func (p *Prefetcher) OnAccess(ev cache.AccessEvent) []cache.PrefetchReq {
+	if ev.Hit && !ev.PrefetchHit {
+		return nil
+	}
+	// Learning: test one candidate offset against the RR table.
+	off := offsetList[p.testIdx]
+	if base := uint64(int64(ev.LineAddr) - off); int64(ev.LineAddr)-off > 0 && p.rrHit(base) {
+		p.scores[p.testIdx]++
+		if p.scores[p.testIdx] >= p.cfg.ScoreMax {
+			p.endRound()
+		}
+	}
+	p.testIdx++
+	if p.testIdx >= len(offsetList) {
+		p.testIdx = 0
+		p.roundLen++
+		if p.roundLen >= p.cfg.RoundMax {
+			p.endRound()
+		}
+	}
+	if !p.active {
+		return nil
+	}
+	return []cache.PrefetchReq{{
+		LineAddr:  ev.LineAddr + uint64(p.bestOff),
+		FillLevel: p.cfg.FillLevel,
+	}}
+}
+
+// endRound selects the new best offset and resets scores.
+func (p *Prefetcher) endRound() {
+	best, bestScore := int64(1), -1
+	for i, s := range p.scores {
+		if s > bestScore {
+			best, bestScore = offsetList[i], s
+		}
+		p.scores[i] = 0
+	}
+	p.bestOff, p.bestScore = best, bestScore
+	p.active = bestScore > p.cfg.BadScore
+	p.testIdx = 0
+	p.roundLen = 0
+}
+
+// OnFill implements cache.Prefetcher: for timeliness, the RR table records
+// X - D when line X fills, so offsets are only credited when the fetch
+// would have completed in time.
+func (p *Prefetcher) OnFill(ev cache.FillEvent) {
+	base := int64(ev.LineAddr) - p.bestOff
+	if base > 0 {
+		p.rrInsert(uint64(base))
+	}
+}

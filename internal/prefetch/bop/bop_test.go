@@ -1,0 +1,69 @@
+package bop
+
+import (
+	"testing"
+
+	"github.com/bertisim/berti/internal/cache"
+)
+
+func TestOffsetListShape(t *testing.T) {
+	if len(offsetList) != 52 {
+		t.Fatalf("Michaud's list has 52 offsets, got %d", len(offsetList))
+	}
+	for _, o := range offsetList {
+		m := o
+		for _, f := range []int64{2, 3, 5} {
+			for m%f == 0 {
+				m /= f
+			}
+		}
+		if m != 1 {
+			t.Fatalf("offset %d is not 2^i*3^j*5^k", o)
+		}
+	}
+}
+
+func TestLearnsStreamOffset(t *testing.T) {
+	p := New(DefaultConfig())
+	// Miss stream with stride 1 and fills completing in order: every
+	// offset test for +1.. should score via the RR table.
+	line := uint64(1000)
+	for i := 0; i < 4000; i++ {
+		line++
+		p.OnAccess(cache.AccessEvent{LineAddr: line, Hit: false})
+		p.OnFill(cache.FillEvent{LineAddr: line, Latency: 100})
+	}
+	if p.BestOffset() <= 0 {
+		t.Fatalf("no positive best offset learned: %d", p.BestOffset())
+	}
+	reqs := p.OnAccess(cache.AccessEvent{LineAddr: line + 1, Hit: false})
+	if len(reqs) != 1 {
+		t.Fatalf("BOP is degree one, got %d", len(reqs))
+	}
+	if reqs[0].LineAddr != line+1+uint64(p.BestOffset()) {
+		t.Fatalf("target %d not current+bestOffset", reqs[0].LineAddr)
+	}
+}
+
+func TestDisablesOnRandomTraffic(t *testing.T) {
+	p := New(DefaultConfig())
+	x := uint64(12345)
+	for i := 0; i < 30000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		line := x % (1 << 30)
+		p.OnAccess(cache.AccessEvent{LineAddr: line, Hit: false})
+		if i%3 == 0 {
+			p.OnFill(cache.FillEvent{LineAddr: line, Latency: 100})
+		}
+	}
+	if p.active {
+		t.Fatal("BOP should disable prefetching on random traffic (score below BadScore)")
+	}
+}
+
+func TestIgnoresPlainHits(t *testing.T) {
+	p := New(DefaultConfig())
+	if reqs := p.OnAccess(cache.AccessEvent{LineAddr: 5, Hit: true}); reqs != nil {
+		t.Fatal("plain hits must not trigger BOP")
+	}
+}

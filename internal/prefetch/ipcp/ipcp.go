@@ -1,0 +1,267 @@
+// Package ipcp implements Instruction Pointer Classifier-based Prefetching
+// (Pakalapati & Panda, ISCA 2020), the DPC-3 winner: a bouquet of small
+// prefetchers selected per IP class — global stream (GS), constant stride
+// (CS), complex stride (CPLX) — with a next-line (NL) fallback.
+package ipcp
+
+import "github.com/bertisim/berti/internal/cache"
+
+// Config parameterizes IPCP (Table III: 128-entry IP table).
+type Config struct {
+	IPEntries   int
+	CSPTEntries int // complex-stride prediction table
+	RSTEntries  int // region stream table (2 KB regions)
+	CSDegree    int
+	CPLXDegree  int
+	GSDegree    int
+	FillLevel   cache.Level
+	// NLOnMiss enables the next-line fallback for unclassified misses.
+	NLOnMiss bool
+}
+
+// DefaultConfig follows the ISCA 2020 design scaled to Table III.
+func DefaultConfig() Config {
+	return Config{
+		IPEntries:   128,
+		CSPTEntries: 128,
+		RSTEntries:  8,
+		CSDegree:    4,
+		CPLXDegree:  3,
+		GSDegree:    6,
+		FillLevel:   cache.L1D,
+		NLOnMiss:    true,
+	}
+}
+
+// L2Config is the multi-level variant (IPCP at L2): lower degrees, fills L2.
+func L2Config() Config {
+	c := DefaultConfig()
+	c.CSDegree = 2
+	c.CPLXDegree = 2
+	c.GSDegree = 4
+	c.FillLevel = cache.L2
+	c.NLOnMiss = false
+	return c
+}
+
+// ipEntry is one IP-table entry.
+type ipEntry struct {
+	valid    bool
+	tag      uint64
+	lastLine uint64
+	stride   int64
+	csConf   uint8 // 2-bit constant-stride confidence
+	sig      uint16
+	streamed bool // classified GS in the current region epoch
+	dirUp    bool
+	lru      uint64
+}
+
+// csptEntry is one complex-stride prediction-table entry.
+type csptEntry struct {
+	stride int64
+	conf   uint8 // 2-bit
+}
+
+// regionEntry tracks density and direction of a 2 KB region (32 lines).
+type regionEntry struct {
+	valid   bool
+	region  uint64
+	bitmap  uint32
+	touched int
+	posDir  int
+	negDir  int
+	lastOff int
+	dense   bool
+	lru     uint64
+}
+
+// Prefetcher is the IPCP bouquet.
+type Prefetcher struct {
+	cfg     Config
+	ips     []ipEntry
+	cspt    []csptEntry
+	rst     []regionEntry
+	lru     uint64
+	scratch []cache.PrefetchReq
+}
+
+// New builds an IPCP prefetcher.
+func New(cfg Config) *Prefetcher {
+	return &Prefetcher{
+		cfg:  cfg,
+		ips:  make([]ipEntry, cfg.IPEntries),
+		cspt: make([]csptEntry, cfg.CSPTEntries),
+		rst:  make([]regionEntry, cfg.RSTEntries),
+	}
+}
+
+// Name implements cache.Prefetcher.
+func (p *Prefetcher) Name() string { return "ipcp" }
+
+// StorageBits implements cache.Prefetcher.
+func (p *Prefetcher) StorageBits() int {
+	ipBits := p.cfg.IPEntries * (9 + 24 + 7 + 2 + 7 + 2 + 7)
+	csptBits := p.cfg.CSPTEntries * (7 + 2)
+	rstBits := p.cfg.RSTEntries * (20 + 32 + 6 + 6 + 2)
+	return ipBits + csptBits + rstBits
+}
+
+func (p *Prefetcher) ipFor(ip uint64) *ipEntry {
+	h := ip ^ ip>>7 ^ ip>>15
+	idx := int(h % uint64(len(p.ips)))
+	e := &p.ips[idx]
+	tag := (h / uint64(len(p.ips))) & 0x1FF
+	if !e.valid || e.tag != tag {
+		*e = ipEntry{valid: true, tag: tag}
+	}
+	p.lru++
+	e.lru = p.lru
+	return e
+}
+
+// regionOf returns the 2 KB region number and the line offset within it.
+func regionOf(line uint64) (uint64, int) { return line >> 5, int(line & 31) }
+
+// trackRegion updates the region stream table and returns the entry.
+func (p *Prefetcher) trackRegion(line uint64) *regionEntry {
+	region, off := regionOf(line)
+	var e *regionEntry
+	for i := range p.rst {
+		if p.rst[i].valid && p.rst[i].region == region {
+			e = &p.rst[i]
+			break
+		}
+	}
+	if e == nil {
+		e = &p.rst[0]
+		for i := range p.rst {
+			if !p.rst[i].valid {
+				e = &p.rst[i]
+				break
+			}
+			if p.rst[i].lru < e.lru {
+				e = &p.rst[i]
+			}
+		}
+		*e = regionEntry{valid: true, region: region, lastOff: off}
+	}
+	p.lru++
+	e.lru = p.lru
+	bit := uint32(1) << off
+	if e.bitmap&bit == 0 {
+		e.bitmap |= bit
+		e.touched++
+	}
+	if off > e.lastOff {
+		e.posDir++
+	} else if off < e.lastOff {
+		e.negDir++
+	}
+	e.lastOff = off
+	// Dense region: 75% of lines touched => stream phase.
+	if e.touched >= 24 {
+		e.dense = true
+	}
+	return e
+}
+
+// OnAccess implements cache.Prefetcher.
+func (p *Prefetcher) OnAccess(ev cache.AccessEvent) []cache.PrefetchReq {
+	e := p.ipFor(ev.IP)
+	region := p.trackRegion(ev.LineAddr)
+	p.scratch = p.scratch[:0]
+
+	var stride int64
+	if e.lastLine != 0 {
+		stride = int64(ev.LineAddr) - int64(e.lastLine)
+	}
+	first := e.lastLine == 0
+	e.lastLine = ev.LineAddr
+
+	if !first && stride != 0 {
+		// CS training.
+		if stride == e.stride {
+			if e.csConf < 3 {
+				e.csConf++
+			}
+		} else {
+			if e.csConf > 0 {
+				e.csConf--
+			}
+			if e.csConf == 0 {
+				e.stride = stride
+			}
+		}
+		// CPLX training: the previous signature should predict this
+		// stride.
+		c := &p.cspt[int(e.sig)%len(p.cspt)]
+		if c.stride == stride {
+			if c.conf < 3 {
+				c.conf++
+			}
+		} else {
+			if c.conf > 0 {
+				c.conf--
+			} else {
+				c.stride = stride
+			}
+		}
+		e.sig = updateSig(e.sig, stride)
+	}
+
+	// Classification priority: GS > CS > CPLX > NL.
+	switch {
+	case region.dense:
+		// Global stream: spray the next lines in the dominant
+		// direction. High coverage on streams, but inaccurate on
+		// irregular dense phases (the GAP failure mode in §IV-C).
+		dir := int64(1)
+		if region.negDir > region.posDir {
+			dir = -1
+		}
+		e.streamed = true
+		for k := 1; k <= p.cfg.GSDegree; k++ {
+			p.add(uint64(int64(ev.LineAddr) + dir*int64(k)))
+		}
+	case e.csConf >= 2 && e.stride != 0:
+		for k := 1; k <= p.cfg.CSDegree; k++ {
+			p.add(uint64(int64(ev.LineAddr) + int64(k)*e.stride))
+		}
+	default:
+		// CPLX: chain predictions through the signature table while
+		// confidence holds.
+		sig := e.sig
+		base := int64(ev.LineAddr)
+		issued := false
+		for k := 0; k < p.cfg.CPLXDegree; k++ {
+			c := p.cspt[int(sig)%len(p.cspt)]
+			if c.conf < 2 || c.stride == 0 {
+				break
+			}
+			base += c.stride
+			p.add(uint64(base))
+			issued = true
+			sig = updateSig(sig, c.stride)
+		}
+		if !issued && p.cfg.NLOnMiss && !ev.Hit {
+			p.add(ev.LineAddr + 1)
+		}
+	}
+	return p.scratch
+}
+
+func (p *Prefetcher) add(target uint64) {
+	p.scratch = append(p.scratch, cache.PrefetchReq{
+		LineAddr:  target,
+		FillLevel: p.cfg.FillLevel,
+	})
+}
+
+// updateSig folds a stride into the 7-bit CPLX signature.
+func updateSig(sig uint16, stride int64) uint16 {
+	return ((sig << 1) ^ uint16(stride&0x3F)) & 0x7F
+}
+
+// OnFill implements cache.Prefetcher.
+func (p *Prefetcher) OnFill(cache.FillEvent) {}

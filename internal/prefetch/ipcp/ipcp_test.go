@@ -1,0 +1,83 @@
+package ipcp
+
+import (
+	"testing"
+
+	"github.com/bertisim/berti/internal/cache"
+)
+
+func TestCSClassCoversConstantStride(t *testing.T) {
+	p := New(DefaultConfig())
+	var reqs []cache.PrefetchReq
+	// Spread lines across regions so GS density never triggers.
+	for i := uint64(0); i < 8; i++ {
+		reqs = p.OnAccess(cache.AccessEvent{IP: 0x400, LineAddr: 1000 + 7*i, Hit: false})
+	}
+	if len(reqs) != DefaultConfig().CSDegree {
+		t.Fatalf("CS degree expected %d, got %d", DefaultConfig().CSDegree, len(reqs))
+	}
+	base := uint64(1000 + 7*7)
+	for k, r := range reqs {
+		if r.LineAddr != base+uint64(k+1)*7 {
+			t.Fatalf("CS target %d wrong: %d", k, r.LineAddr)
+		}
+	}
+}
+
+func TestCPLXClassCoversRepeatingDeltaPattern(t *testing.T) {
+	p := New(DefaultConfig())
+	// The paper's lbm example: +1/+2 alternation; CS never gains
+	// confidence, CPLX signature chain should.
+	line := uint64(1 << 20)
+	deltas := []int64{1, 2}
+	var reqs []cache.PrefetchReq
+	for i := 0; i < 400; i++ {
+		line = uint64(int64(line) + deltas[i%2])
+		reqs = p.OnAccess(cache.AccessEvent{IP: 0x404, LineAddr: line, Hit: false})
+	}
+	if len(reqs) == 0 {
+		t.Fatal("CPLX failed to chain a stable delta pattern")
+	}
+}
+
+func TestGSClassSpraysOnDenseRegion(t *testing.T) {
+	p := New(DefaultConfig())
+	// Touch 24+ lines of one 2 KB region from many IPs: density flips
+	// the region to a global stream and GS sprays next lines.
+	var reqs []cache.PrefetchReq
+	for i := uint64(0); i < 30; i++ {
+		reqs = p.OnAccess(cache.AccessEvent{IP: 0x400 + i*21, LineAddr: 64*32 + i, Hit: false})
+	}
+	if len(reqs) != DefaultConfig().GSDegree {
+		t.Fatalf("GS degree expected %d, got %d", DefaultConfig().GSDegree, len(reqs))
+	}
+	for k, r := range reqs {
+		if r.LineAddr != 64*32+29+uint64(k+1) {
+			t.Fatalf("GS should spray next lines, got %v", reqs)
+		}
+	}
+}
+
+func TestNLFallbackOnUnclassifiedMiss(t *testing.T) {
+	p := New(DefaultConfig())
+	reqs := p.OnAccess(cache.AccessEvent{IP: 0x999, LineAddr: 777777, Hit: false})
+	if len(reqs) != 1 || reqs[0].LineAddr != 777778 {
+		t.Fatalf("expected next-line fallback, got %v", reqs)
+	}
+}
+
+func TestL2ConfigFillsL2(t *testing.T) {
+	p := New(L2Config())
+	var reqs []cache.PrefetchReq
+	for i := uint64(0); i < 8; i++ {
+		reqs = p.OnAccess(cache.AccessEvent{IP: 0x400, LineAddr: 5000 + 9*i, Hit: false})
+	}
+	if len(reqs) == 0 {
+		t.Fatal("no prefetches")
+	}
+	for _, r := range reqs {
+		if r.FillLevel != cache.L2 {
+			t.Fatalf("L2 variant must fill L2, got %v", r.FillLevel)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package ipstride implements the classic per-IP constant-stride prefetcher
+// used as the paper's baseline: a 24-entry fully-associative table in the
+// style of Intel's L1D stride prefetcher (Table II).
+package ipstride
+
+import "github.com/bertisim/berti/internal/cache"
+
+type entry struct {
+	valid    bool
+	ipTag    uint64
+	lastLine uint64
+	stride   int64
+	conf     uint8 // 2-bit confidence
+	lru      uint64
+}
+
+// Config parameterizes the stride table.
+type Config struct {
+	Entries int
+	Degree  int
+	// ConfThreshold is the confidence needed to issue prefetches.
+	ConfThreshold uint8
+}
+
+// DefaultConfig is the Table II baseline: 24 entries, degree 2.
+func DefaultConfig() Config {
+	return Config{Entries: 24, Degree: 2, ConfThreshold: 2}
+}
+
+// Prefetcher is the IP-stride prefetcher.
+type Prefetcher struct {
+	cfg     Config
+	table   []entry
+	lru     uint64
+	scratch []cache.PrefetchReq
+}
+
+// New builds an IP-stride prefetcher.
+func New(cfg Config) *Prefetcher {
+	return &Prefetcher{cfg: cfg, table: make([]entry, cfg.Entries)}
+}
+
+// Name implements cache.Prefetcher.
+func (p *Prefetcher) Name() string { return "ip-stride" }
+
+// StorageBits implements cache.Prefetcher: tag(16)+line(24)+stride(13)+
+// conf(2)+lru(5) per entry.
+func (p *Prefetcher) StorageBits() int { return p.cfg.Entries * (16 + 24 + 13 + 2 + 5) }
+
+// OnAccess implements cache.Prefetcher: classic stride training with a
+// 2-bit confidence counter.
+func (p *Prefetcher) OnAccess(ev cache.AccessEvent) []cache.PrefetchReq {
+	e := p.lookup(ev.IP)
+	p.lru++
+	if e == nil {
+		e = p.victim()
+		*e = entry{valid: true, ipTag: ev.IP, lastLine: ev.LineAddr, lru: p.lru}
+		return nil
+	}
+	e.lru = p.lru
+	delta := int64(ev.LineAddr) - int64(e.lastLine)
+	if delta == 0 {
+		return nil
+	}
+	if delta == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		if e.conf > 0 {
+			e.conf--
+		}
+		if e.conf == 0 {
+			e.stride = delta
+		}
+	}
+	e.lastLine = ev.LineAddr
+	if e.conf < p.cfg.ConfThreshold || e.stride == 0 {
+		return nil
+	}
+	p.scratch = p.scratch[:0]
+	for k := 1; k <= p.cfg.Degree; k++ {
+		target := uint64(int64(ev.LineAddr) + int64(k)*e.stride)
+		p.scratch = append(p.scratch, cache.PrefetchReq{
+			LineAddr:  target,
+			FillLevel: cache.L1D,
+		})
+	}
+	return p.scratch
+}
+
+// OnFill implements cache.Prefetcher (no fill-time training).
+func (p *Prefetcher) OnFill(cache.FillEvent) {}
+
+func (p *Prefetcher) lookup(ip uint64) *entry {
+	for i := range p.table {
+		if p.table[i].valid && p.table[i].ipTag == ip {
+			return &p.table[i]
+		}
+	}
+	return nil
+}
+
+func (p *Prefetcher) victim() *entry {
+	v := &p.table[0]
+	for i := range p.table {
+		if !p.table[i].valid {
+			return &p.table[i]
+		}
+		if p.table[i].lru < v.lru {
+			v = &p.table[i]
+		}
+	}
+	return v
+}

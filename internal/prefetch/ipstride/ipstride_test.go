@@ -1,0 +1,78 @@
+package ipstride
+
+import (
+	"testing"
+
+	"github.com/bertisim/berti/internal/cache"
+)
+
+func access(p *Prefetcher, ip, line uint64) []cache.PrefetchReq {
+	return p.OnAccess(cache.AccessEvent{IP: ip, LineAddr: line, Hit: false})
+}
+
+func TestDetectsConstantStride(t *testing.T) {
+	p := New(DefaultConfig())
+	var reqs []cache.PrefetchReq
+	for i := uint64(0); i < 6; i++ {
+		reqs = access(p, 0x400, 100+3*i)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("expected degree-2 prefetches, got %d", len(reqs))
+	}
+	if reqs[0].LineAddr != 100+15+3 || reqs[1].LineAddr != 100+15+6 {
+		t.Fatalf("wrong targets: %v", reqs)
+	}
+}
+
+func TestNoPrefetchOnAlternatingStride(t *testing.T) {
+	p := New(DefaultConfig())
+	line := uint64(100)
+	var reqs []cache.PrefetchReq
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 {
+			line += 1
+		} else {
+			line += 2
+		}
+		reqs = access(p, 0x400, line)
+	}
+	// The paper's lbm example: +1/+2 alternation never builds confidence.
+	if len(reqs) != 0 {
+		t.Fatalf("alternating strides must not prefetch, got %v", reqs)
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	p := New(DefaultConfig())
+	var reqs []cache.PrefetchReq
+	for i := uint64(0); i < 6; i++ {
+		reqs = access(p, 0x400, 1000-5*i)
+	}
+	if len(reqs) == 0 || reqs[0].LineAddr != 1000-25-5 {
+		t.Fatalf("negative stride not covered: %v", reqs)
+	}
+}
+
+func TestTableThrashWithManyIPs(t *testing.T) {
+	cfg := DefaultConfig()
+	p := New(cfg)
+	// More streaming IPs than table entries: confidence can never build
+	// (the paper's CactuBSSN failure mode for IP-stride).
+	issued := 0
+	for round := uint64(0); round < 20; round++ {
+		for ip := 0; ip < cfg.Entries*4; ip++ {
+			reqs := access(p, uint64(0x400+ip*21), round*1000+uint64(ip)*50+round)
+			issued += len(reqs)
+		}
+	}
+	if issued != 0 {
+		t.Fatalf("thrashing table should not gain confidence, issued %d", issued)
+	}
+}
+
+func TestStorageBudget(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.StorageBits() == 0 || p.StorageBits() > 8*1024*8 {
+		t.Fatalf("implausible storage: %d bits", p.StorageBits())
+	}
+}

@@ -1,0 +1,69 @@
+package misb
+
+import (
+	"testing"
+
+	"github.com/bertisim/berti/internal/cache"
+)
+
+func replay(p *Prefetcher, pc uint64, seq []uint64) []cache.PrefetchReq {
+	var last []cache.PrefetchReq
+	for _, l := range seq {
+		last = p.OnAccess(cache.AccessEvent{IP: pc, LineAddr: l, Hit: false})
+	}
+	return last
+}
+
+func TestReplayPrefetchesSuccessors(t *testing.T) {
+	p := New(DefaultConfig())
+	seq := []uint64{100, 2000, 57, 888, 1234, 999}
+	replay(p, 0x400, seq)
+	got := p.OnAccess(cache.AccessEvent{IP: 0x400, LineAddr: seq[0], Hit: false})
+	if len(got) == 0 {
+		t.Fatal("no prefetches on replay")
+	}
+	for k := 0; k < len(got) && k+1 < len(seq); k++ {
+		if got[k].LineAddr != seq[k+1] {
+			t.Fatalf("structural walk wrong at %d: got %d want %d", k, got[k].LineAddr, seq[k+1])
+		}
+	}
+}
+
+func TestMappingsAreStableAcrossReplays(t *testing.T) {
+	p := New(DefaultConfig())
+	seq := []uint64{10, 20, 30, 40}
+	replay(p, 0x7, seq)
+	sa1 := p.ps[20]
+	replay(p, 0x7, seq) // wrap-around transition (40 -> 10) must not relink
+	if p.ps[20] != sa1 {
+		t.Fatal("established mapping was relinked on replay")
+	}
+}
+
+func TestSeparateStreamsDoNotBlend(t *testing.T) {
+	p := New(DefaultConfig())
+	a := []uint64{1000, 1001, 1002}
+	b := []uint64{9000, 9001, 9002}
+	replay(p, 0x100, a)
+	replay(p, 0x200, b)
+	got := p.OnAccess(cache.AccessEvent{IP: 0x100, LineAddr: a[0], Hit: false})
+	for _, r := range got {
+		for _, bl := range b {
+			if r.LineAddr == bl {
+				t.Fatalf("stream A prefetched stream B's line %d", bl)
+			}
+		}
+	}
+}
+
+func TestMetadataBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MappingEntries = 64
+	p := New(cfg)
+	for i := uint64(0); i < 1000; i++ {
+		p.OnAccess(cache.AccessEvent{IP: 0x9, LineAddr: 5_000_000 + i*97, Hit: false})
+	}
+	if len(p.ps) > cfg.MappingEntries || len(p.sp) > cfg.MappingEntries {
+		t.Fatalf("metadata exceeded bound: ps=%d sp=%d", len(p.ps), len(p.sp))
+	}
+}

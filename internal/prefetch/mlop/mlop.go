@@ -1,0 +1,214 @@
+// Package mlop implements Multi-Lookahead Offset Prefetching (Shakerinava
+// et al., DPC-3 third place): a BOP extension that maintains an access map
+// per memory zone and scores every candidate offset at multiple lookahead
+// levels, selecting one best global offset per lookahead each round.
+package mlop
+
+import "github.com/bertisim/berti/internal/cache"
+
+// Config parameterizes MLOP (Table III: 128-entry AMT, 500-update rounds,
+// degree 16).
+type Config struct {
+	// AMTEntries is the access-map-table size (zones tracked).
+	AMTEntries int
+	// MaxOffset bounds candidate offsets to [-MaxOffset, +MaxOffset].
+	MaxOffset int
+	// Lookaheads is the number of lookahead levels (= max degree).
+	Lookaheads int
+	// RoundUpdates is the scoring-round length (500).
+	RoundUpdates int
+	// MinScorePct is the minimum score (as a percentage of the round
+	// length) for an offset to be selected at a lookahead level.
+	MinScorePct int
+	FillLevel   cache.Level
+}
+
+// DefaultConfig follows the DPC-3 submission scaled to Table III.
+func DefaultConfig() Config {
+	return Config{
+		AMTEntries:   128,
+		MaxOffset:    16,
+		Lookaheads:   16,
+		RoundUpdates: 500,
+		MinScorePct:  20,
+		FillLevel:    cache.L1D,
+	}
+}
+
+// zone is one access-map entry covering a 4 KB page (64 lines).
+type zone struct {
+	valid bool
+	page  uint64
+	// seq[i] is the global access sequence number when line i of the
+	// zone was last demanded (0 = never).
+	seq [64]uint64
+	lru uint64
+}
+
+// Prefetcher is the MLOP prefetcher.
+type Prefetcher struct {
+	cfg Config
+	amt []zone
+	lru uint64
+	seq uint64 // global demand-access sequence number
+	// scores[offIdx][lookahead-1]
+	scores  [][]int
+	updates int
+	// best[lookahead-1] is the selected offset for that level (0 = none).
+	best    []int64
+	scratch []cache.PrefetchReq
+}
+
+// New builds an MLOP prefetcher.
+func New(cfg Config) *Prefetcher {
+	p := &Prefetcher{
+		cfg:  cfg,
+		amt:  make([]zone, cfg.AMTEntries),
+		best: make([]int64, cfg.Lookaheads),
+	}
+	p.scores = make([][]int, 2*cfg.MaxOffset+1)
+	for i := range p.scores {
+		p.scores[i] = make([]int, cfg.Lookaheads)
+	}
+	return p
+}
+
+// Name implements cache.Prefetcher.
+func (p *Prefetcher) Name() string { return "mlop" }
+
+// StorageBits implements cache.Prefetcher: AMT maps (64 x 2b state each,
+// approximated) + score matrix + selected offsets.
+func (p *Prefetcher) StorageBits() int {
+	amtBits := p.cfg.AMTEntries * (20 + 64*2)
+	scoreBits := len(p.scores) * p.cfg.Lookaheads * 10
+	return amtBits + scoreBits + p.cfg.Lookaheads*7
+}
+
+func (p *Prefetcher) findZone(page uint64) *zone {
+	for i := range p.amt {
+		if p.amt[i].valid && p.amt[i].page == page {
+			return &p.amt[i]
+		}
+	}
+	return nil
+}
+
+func (p *Prefetcher) allocZone(page uint64) *zone {
+	v := &p.amt[0]
+	for i := range p.amt {
+		if !p.amt[i].valid {
+			v = &p.amt[i]
+			break
+		}
+		if p.amt[i].lru < v.lru {
+			v = &p.amt[i]
+		}
+	}
+	*v = zone{valid: true, page: page}
+	return v
+}
+
+// OnAccess implements cache.Prefetcher: update the access map, score all
+// offsets at all lookaheads, and prefetch with the per-lookahead best
+// offsets.
+func (p *Prefetcher) OnAccess(ev cache.AccessEvent) []cache.PrefetchReq {
+	if ev.Hit && !ev.PrefetchHit {
+		return nil
+	}
+	p.seq++
+	page := ev.LineAddr >> 6
+	off := int(ev.LineAddr & 63)
+	z := p.findZone(page)
+	if z == nil {
+		z = p.allocZone(page)
+	}
+	p.lru++
+	z.lru = p.lru
+
+	// Score: for each candidate offset d, the access at line-d must have
+	// happened, and happened at least `lookahead` accesses ago for the
+	// prefetch to have been issued early enough.
+	for d := -p.cfg.MaxOffset; d <= p.cfg.MaxOffset; d++ {
+		if d == 0 {
+			continue
+		}
+		src := off - d
+		if src < 0 || src >= 64 {
+			continue
+		}
+		s := z.seq[src]
+		if s == 0 {
+			continue
+		}
+		age := p.seq - s
+		for l := 1; l <= p.cfg.Lookaheads; l++ {
+			if age >= uint64(l) {
+				p.scores[d+p.cfg.MaxOffset][l-1]++
+			}
+		}
+	}
+	z.seq[off] = p.seq
+
+	p.updates++
+	if p.updates >= p.cfg.RoundUpdates {
+		p.endRound()
+	}
+
+	// Predict: one prefetch per lookahead level with a selected offset.
+	p.scratch = p.scratch[:0]
+	for l := 0; l < p.cfg.Lookaheads; l++ {
+		d := p.best[l]
+		if d == 0 {
+			continue
+		}
+		dup := false
+		for k := 0; k < l; k++ {
+			if p.best[k] == d {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		p.scratch = append(p.scratch, cache.PrefetchReq{
+			LineAddr:  uint64(int64(ev.LineAddr) + d),
+			FillLevel: p.cfg.FillLevel,
+		})
+	}
+	return p.scratch
+}
+
+// endRound picks the best offset per lookahead level and resets scores.
+func (p *Prefetcher) endRound() {
+	minScore := p.cfg.RoundUpdates * p.cfg.MinScorePct / 100
+	for l := 0; l < p.cfg.Lookaheads; l++ {
+		bestOff, bestScore := int64(0), minScore
+		for i := range p.scores {
+			d := int64(i - p.cfg.MaxOffset)
+			if d == 0 {
+				continue
+			}
+			if p.scores[i][l] > bestScore {
+				bestOff, bestScore = d, p.scores[i][l]
+			}
+		}
+		p.best[l] = bestOff
+	}
+	for i := range p.scores {
+		for l := range p.scores[i] {
+			p.scores[i][l] = 0
+		}
+	}
+	p.updates = 0
+}
+
+// BestOffsets exposes the selected per-lookahead offsets (tests).
+func (p *Prefetcher) BestOffsets() []int64 {
+	out := make([]int64, len(p.best))
+	copy(out, p.best)
+	return out
+}
+
+// OnFill implements cache.Prefetcher.
+func (p *Prefetcher) OnFill(cache.FillEvent) {}

@@ -1,0 +1,84 @@
+package mlop
+
+import (
+	"testing"
+
+	"github.com/bertisim/berti/internal/cache"
+)
+
+func TestLearnsGlobalOffsetOnDenseSweep(t *testing.T) {
+	p := New(DefaultConfig())
+	// Global sequential sweep (many IPs interleaved does not matter:
+	// MLOP is IP-agnostic).
+	line := uint64(4096)
+	var last []cache.PrefetchReq
+	for i := 0; i < 3000; i++ {
+		line++
+		last = p.OnAccess(cache.AccessEvent{LineAddr: line, Hit: false})
+	}
+	if len(last) == 0 {
+		t.Fatal("no offsets selected on a dense sweep")
+	}
+	for _, r := range last {
+		if int64(r.LineAddr)-int64(line) <= 0 {
+			t.Fatalf("sweep is ascending; got non-positive offset target %d (line %d)", r.LineAddr, line)
+		}
+	}
+}
+
+func TestMultipleLookaheadsGiveMultipleOffsets(t *testing.T) {
+	p := New(DefaultConfig())
+	line := uint64(1 << 20)
+	for i := 0; i < 5000; i++ {
+		line++
+		p.OnAccess(cache.AccessEvent{LineAddr: line, Hit: false})
+	}
+	offsets := map[int64]bool{}
+	for _, d := range p.BestOffsets() {
+		if d != 0 {
+			offsets[d] = true
+		}
+	}
+	if len(offsets) < 2 {
+		t.Fatalf("expected multiple distinct per-lookahead offsets, got %v", p.BestOffsets())
+	}
+}
+
+func TestNoSelectionOnRandomTraffic(t *testing.T) {
+	p := New(DefaultConfig())
+	x := uint64(99)
+	for i := 0; i < 3000; i++ {
+		x = x*2862933555777941757 + 3037000493
+		p.OnAccess(cache.AccessEvent{LineAddr: x % (1 << 28), Hit: false})
+	}
+	for _, d := range p.BestOffsets() {
+		if d != 0 {
+			t.Fatalf("random traffic selected offset %d", d)
+		}
+	}
+}
+
+func TestZoneThrashingLimitsLearning(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AMTEntries = 4
+	p := New(cfg)
+	// 64 concurrent far-apart streams with 4 zones tracked: maps thrash.
+	cursors := make([]uint64, 64)
+	for i := range cursors {
+		cursors[i] = uint64(i) << 32
+	}
+	for i := 0; i < 2000; i++ {
+		c := i % len(cursors)
+		cursors[c]++
+		p.OnAccess(cache.AccessEvent{LineAddr: cursors[c], Hit: false})
+	}
+	selected := 0
+	for _, d := range p.BestOffsets() {
+		if d != 0 {
+			selected++
+		}
+	}
+	if selected > 4 {
+		t.Fatalf("thrashing AMT should suppress most selections, got %d", selected)
+	}
+}

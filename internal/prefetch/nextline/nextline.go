@@ -1,0 +1,41 @@
+// Package nextline implements a degree-N next-line prefetcher, the simplest
+// spatial baseline (and IPCP's fallback class).
+package nextline
+
+import "github.com/bertisim/berti/internal/cache"
+
+// Prefetcher prefetches the next Degree sequential lines on every miss.
+type Prefetcher struct {
+	// Degree is the number of sequential lines fetched per miss.
+	Degree int
+	// OnHits also triggers on demand hits when true.
+	OnHits  bool
+	scratch []cache.PrefetchReq
+}
+
+// New builds a next-line prefetcher of the given degree.
+func New(degree int) *Prefetcher { return &Prefetcher{Degree: degree} }
+
+// Name implements cache.Prefetcher.
+func (p *Prefetcher) Name() string { return "next-line" }
+
+// StorageBits implements cache.Prefetcher (stateless).
+func (p *Prefetcher) StorageBits() int { return 0 }
+
+// OnAccess implements cache.Prefetcher.
+func (p *Prefetcher) OnAccess(ev cache.AccessEvent) []cache.PrefetchReq {
+	if ev.Hit && !p.OnHits {
+		return nil
+	}
+	p.scratch = p.scratch[:0]
+	for k := 1; k <= p.Degree; k++ {
+		p.scratch = append(p.scratch, cache.PrefetchReq{
+			LineAddr:  ev.LineAddr + uint64(k),
+			FillLevel: cache.L1D,
+		})
+	}
+	return p.scratch
+}
+
+// OnFill implements cache.Prefetcher.
+func (p *Prefetcher) OnFill(cache.FillEvent) {}

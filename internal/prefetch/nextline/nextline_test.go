@@ -1,0 +1,31 @@
+package nextline
+
+import (
+	"testing"
+
+	"github.com/bertisim/berti/internal/cache"
+)
+
+func TestDegreeAndTargets(t *testing.T) {
+	p := New(3)
+	reqs := p.OnAccess(cache.AccessEvent{LineAddr: 100, Hit: false})
+	if len(reqs) != 3 {
+		t.Fatalf("degree 3, got %d", len(reqs))
+	}
+	for k, r := range reqs {
+		if r.LineAddr != 100+uint64(k+1) {
+			t.Fatalf("target %d wrong: %d", k, r.LineAddr)
+		}
+	}
+}
+
+func TestHitsSkippedUnlessEnabled(t *testing.T) {
+	p := New(1)
+	if reqs := p.OnAccess(cache.AccessEvent{LineAddr: 5, Hit: true}); reqs != nil {
+		t.Fatal("hits must not trigger by default")
+	}
+	p.OnHits = true
+	if reqs := p.OnAccess(cache.AccessEvent{LineAddr: 5, Hit: true}); len(reqs) != 1 {
+		t.Fatal("OnHits did not enable hit triggering")
+	}
+}

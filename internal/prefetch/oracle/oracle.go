@@ -1,0 +1,87 @@
+// Package oracle implements an ideal L1D prefetcher: it reads the trace's
+// future and prefetches the next lines the program will touch. It is not a
+// realizable design — the paper uses an ideal L1D (Section IV-G) to show
+// that CloudSuite has little data-prefetching headroom, and this oracle
+// serves the same role: an upper bound on what any L1D prefetcher could do.
+package oracle
+
+import (
+	"github.com/bertisim/berti/internal/cache"
+	"github.com/bertisim/berti/internal/trace"
+)
+
+// Prefetcher prefetches the next Lookahead distinct future lines.
+type Prefetcher struct {
+	// lines is the trace's line-address sequence (virtual).
+	lines []uint64
+	// cursor tracks the current position in the line sequence.
+	cursor int
+	// Lookahead is how many distinct future lines to keep in flight.
+	Lookahead int
+	scratch   []cache.PrefetchReq
+}
+
+// New builds an oracle over the trace that will drive the core.
+func New(tr *trace.Slice, lookahead int) *Prefetcher {
+	p := &Prefetcher{Lookahead: lookahead}
+	p.lines = make([]uint64, len(tr.Records))
+	for i := range tr.Records {
+		p.lines[i] = tr.Records[i].Addr >> cache.LineShift
+	}
+	return p
+}
+
+// Name implements cache.Prefetcher.
+func (p *Prefetcher) Name() string { return "oracle" }
+
+// StorageBits implements cache.Prefetcher. An oracle has no hardware
+// budget; it reports 0 and must never appear in storage comparisons.
+func (p *Prefetcher) StorageBits() int { return 0 }
+
+// OnAccess implements cache.Prefetcher: resynchronize the cursor to the
+// observed access (accesses arrive merged and slightly out of order, so the
+// match scans a small window), then prefetch the next distinct lines.
+func (p *Prefetcher) OnAccess(ev cache.AccessEvent) []cache.PrefetchReq {
+	// Resync: find the access's line at or after the cursor (bounded
+	// scan keeps the oracle O(1) amortized even when merging skews the
+	// event order).
+	const syncWindow = 512
+	for i := p.cursor; i < len(p.lines) && i < p.cursor+syncWindow; i++ {
+		if p.lines[i] == ev.LineAddr {
+			p.cursor = i + 1
+			break
+		}
+	}
+	// Prefetch the next Lookahead distinct lines. Like Berti, demote to
+	// L2 fills when the L1D MSHRs are busy so the oracle never throttles
+	// the demand path it is trying to accelerate.
+	level := cache.L1D
+	if ev.MSHRCap > 0 && ev.MSHROccupancy*100 >= 70*ev.MSHRCap {
+		level = cache.L2
+	}
+	p.scratch = p.scratch[:0]
+	seen := ev.LineAddr
+	for i := p.cursor; i < len(p.lines) && len(p.scratch) < p.Lookahead; i++ {
+		l := p.lines[i]
+		if l == seen {
+			continue
+		}
+		dup := false
+		for _, r := range p.scratch {
+			if r.LineAddr == l {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			p.scratch = append(p.scratch, cache.PrefetchReq{LineAddr: l, FillLevel: level})
+		}
+	}
+	return p.scratch
+}
+
+// OnFill implements cache.Prefetcher.
+func (p *Prefetcher) OnFill(cache.FillEvent) {}
+
+// Reset rewinds the cursor (the harness loops traces).
+func (p *Prefetcher) Reset() { p.cursor = 0 }

@@ -1,0 +1,57 @@
+package oracle
+
+import (
+	"testing"
+
+	"github.com/bertisim/berti/internal/cache"
+	"github.com/bertisim/berti/internal/trace"
+)
+
+func TestPrefetchesFutureLines(t *testing.T) {
+	tr := &trace.Slice{}
+	lines := []uint64{10, 20, 30, 40, 50}
+	for _, l := range lines {
+		tr.Append(trace.Record{Addr: l << cache.LineShift, Kind: trace.Load})
+	}
+	p := New(tr, 3)
+	got := p.OnAccess(cache.AccessEvent{LineAddr: 10})
+	if len(got) != 3 {
+		t.Fatalf("lookahead 3, got %d", len(got))
+	}
+	for k, want := range []uint64{20, 30, 40} {
+		if got[k].LineAddr != want {
+			t.Fatalf("future line %d: got %d want %d", k, got[k].LineAddr, want)
+		}
+	}
+}
+
+func TestCursorAdvances(t *testing.T) {
+	tr := &trace.Slice{}
+	for i := uint64(0); i < 100; i++ {
+		tr.Append(trace.Record{Addr: i << cache.LineShift, Kind: trace.Load})
+	}
+	p := New(tr, 2)
+	p.OnAccess(cache.AccessEvent{LineAddr: 0})
+	got := p.OnAccess(cache.AccessEvent{LineAddr: 5})
+	if got[0].LineAddr != 6 {
+		t.Fatalf("cursor did not resync: %v", got)
+	}
+}
+
+func TestDistinctLinesOnly(t *testing.T) {
+	tr := &trace.Slice{}
+	for _, l := range []uint64{1, 2, 2, 2, 3, 3, 4} {
+		tr.Append(trace.Record{Addr: l << cache.LineShift, Kind: trace.Load})
+	}
+	p := New(tr, 3)
+	got := p.OnAccess(cache.AccessEvent{LineAddr: 1})
+	want := []uint64{2, 3, 4}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for k := range want {
+		if got[k].LineAddr != want[k] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}

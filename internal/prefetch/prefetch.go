@@ -1,0 +1,22 @@
+// Package prefetch hosts the baseline hardware prefetchers the paper
+// compares against (one subpackage per design) and small shared helpers.
+//
+// Every prefetcher implements cache.Prefetcher and is constructed by a
+// factory so per-core instances stay independent in multi-core runs.
+package prefetch
+
+// PageLineShift converts a line address to its 4 KB page number
+// (12 - 6 = 6 line bits per page).
+const PageLineShift = 6
+
+// LinesPerPage is the number of 64-byte lines in a 4 KB page.
+const LinesPerPage = 1 << PageLineShift
+
+// PageOf returns the 4 KB page number of a line address.
+func PageOf(lineAddr uint64) uint64 { return lineAddr >> PageLineShift }
+
+// OffsetOf returns the line offset within its 4 KB page.
+func OffsetOf(lineAddr uint64) int { return int(lineAddr & (LinesPerPage - 1)) }
+
+// SamePage reports whether two line addresses share a 4 KB page.
+func SamePage(a, b uint64) bool { return PageOf(a) == PageOf(b) }

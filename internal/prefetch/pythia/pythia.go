@@ -1,0 +1,186 @@
+// Package pythia implements a simplified Pythia (Bera et al., MICRO 2021):
+// a reinforcement-learning prefetcher that learns which prefetch offset to
+// issue for a program state using tabular Q-values updated from prefetch
+// outcomes. The paper's Section V cites Pythia as a high-performing L2
+// prefetcher whose gains mostly vanish once Berti runs at the L1D; the
+// AblPythia experiment reproduces that interaction.
+//
+// This implementation keeps Pythia's structure — state features (page
+// offset + recent delta signature), an action set of candidate offsets, a
+// Q-value table ("vault"), an evaluation queue that assigns rewards when
+// the outcome of an issued prefetch becomes known, and epsilon-greedy
+// exploration with a deterministic schedule — while simplifying the
+// original's multi-feature voting to a single hashed state table.
+package pythia
+
+import "github.com/bertisim/berti/internal/cache"
+
+// Actions is the candidate offset set (a subset of Pythia's action list).
+var Actions = []int64{1, 2, 3, 4, 6, 8, 12, 16, -1, -2, -4, 0}
+
+// Config parameterizes the RL machinery.
+type Config struct {
+	// StateEntries is the Q-table height (states are hashed into it).
+	StateEntries int
+	// EQSize is the evaluation-queue depth (outcomes tracked).
+	EQSize int
+	// Alpha is the learning rate numerator (alpha = Alpha/256).
+	Alpha int
+	// RewardUseful / RewardUseless / RewardNone shape learning.
+	RewardUseful, RewardUseless, RewardNoPrefetch int
+	// ExplorePeriod issues an exploratory action every N decisions.
+	ExplorePeriod int
+	FillLevel     cache.Level
+}
+
+// DefaultConfig follows the MICRO 2021 design, scaled down.
+func DefaultConfig() Config {
+	return Config{
+		StateEntries:     4096,
+		EQSize:           256,
+		Alpha:            64,
+		RewardUseful:     20,
+		RewardUseless:    -12,
+		RewardNoPrefetch: -2,
+		ExplorePeriod:    100,
+		FillLevel:        cache.L2,
+	}
+}
+
+// eqEntry tracks one issued prefetch until its outcome is known.
+type eqEntry struct {
+	valid  bool
+	line   uint64
+	state  int
+	action int
+}
+
+// Prefetcher is the simplified Pythia.
+type Prefetcher struct {
+	cfg Config
+	// q[state][action] holds Q-values (fixed-point, x256).
+	q     [][]int32
+	eq    []eqEntry
+	eqPos int
+
+	lastLine  uint64
+	lastDelta int64
+	decisions uint64
+	scratch   []cache.PrefetchReq
+}
+
+// New builds a Pythia prefetcher.
+func New(cfg Config) *Prefetcher {
+	p := &Prefetcher{
+		cfg: cfg,
+		q:   make([][]int32, cfg.StateEntries),
+		eq:  make([]eqEntry, cfg.EQSize),
+	}
+	for i := range p.q {
+		p.q[i] = make([]int32, len(Actions))
+	}
+	return p
+}
+
+// Name implements cache.Prefetcher.
+func (p *Prefetcher) Name() string { return "pythia" }
+
+// StorageBits implements cache.Prefetcher: Q-table + EQ (the original is
+// ~25.5 KB; this scaled version is similar).
+func (p *Prefetcher) StorageBits() int {
+	return p.cfg.StateEntries*len(Actions)*16 + p.cfg.EQSize*(26+12+4)
+}
+
+// state hashes the program state: page offset + last delta.
+func (p *Prefetcher) state(line uint64, lastDelta int64) int {
+	h := (line & 63) ^ uint64(lastDelta*2654435761)
+	h ^= h >> 13
+	return int(h % uint64(p.cfg.StateEntries))
+}
+
+// bestAction returns the argmax action for a state.
+func (p *Prefetcher) bestAction(s int) int {
+	best := 0
+	for a := 1; a < len(Actions); a++ {
+		if p.q[s][a] > p.q[s][best] {
+			best = a
+		}
+	}
+	return best
+}
+
+// reward applies a reward to the (state, action) of an EQ entry.
+func (p *Prefetcher) reward(e *eqEntry, r int) {
+	cur := p.q[e.state][e.action]
+	// Q += alpha * (r*256 - Q) / 256, fixed point.
+	p.q[e.state][e.action] = cur + int32(p.cfg.Alpha)*(int32(r)*256-cur)/256
+}
+
+// OnAccess implements cache.Prefetcher: settle EQ outcomes for demanded
+// lines, pick an action for the new state, issue, and track it.
+func (p *Prefetcher) OnAccess(ev cache.AccessEvent) []cache.PrefetchReq {
+	if ev.Hit && !ev.PrefetchHit {
+		return nil
+	}
+	// Settle: a demand for a tracked line means the prefetch was useful.
+	for i := range p.eq {
+		if p.eq[i].valid && p.eq[i].line == ev.LineAddr {
+			p.reward(&p.eq[i], p.cfg.RewardUseful)
+			p.eq[i].valid = false
+		}
+	}
+
+	delta := int64(ev.LineAddr) - int64(p.lastLine)
+	if p.lastLine == 0 || delta > 64 || delta < -64 {
+		delta = 0
+	}
+	p.lastLine = ev.LineAddr
+	s := p.state(ev.LineAddr, p.lastDelta)
+	p.lastDelta = delta
+
+	p.decisions++
+	a := p.bestAction(s)
+	if p.cfg.ExplorePeriod > 0 && p.decisions%uint64(p.cfg.ExplorePeriod) == 0 {
+		// Deterministic exploration schedule (no RNG in the datapath).
+		a = int(p.decisions/uint64(p.cfg.ExplorePeriod)) % len(Actions)
+	}
+	off := Actions[a]
+	if off == 0 {
+		// "No prefetch" action: small negative reward keeps it from
+		// absorbing everything, applied immediately.
+		e := eqEntry{state: s, action: a}
+		p.reward(&e, p.cfg.RewardNoPrefetch)
+		return nil
+	}
+
+	target := uint64(int64(ev.LineAddr) + off)
+	// Track the decision; an overwritten (never-demanded) entry counts
+	// as useless.
+	slot := &p.eq[p.eqPos]
+	if slot.valid {
+		p.reward(slot, p.cfg.RewardUseless)
+	}
+	*slot = eqEntry{valid: true, line: target, state: s, action: a}
+	p.eqPos = (p.eqPos + 1) % len(p.eq)
+
+	p.scratch = p.scratch[:0]
+	p.scratch = append(p.scratch, cache.PrefetchReq{LineAddr: target, FillLevel: p.cfg.FillLevel})
+	return p.scratch
+}
+
+// OnFill implements cache.Prefetcher: an unused prefetched line being
+// evicted is a definitive useless outcome.
+func (p *Prefetcher) OnFill(ev cache.FillEvent) {
+	if !ev.EvictedPrefetched || ev.EvictedAddr == 0 {
+		return
+	}
+	for i := range p.eq {
+		if p.eq[i].valid && p.eq[i].line == ev.EvictedAddr {
+			p.reward(&p.eq[i], p.cfg.RewardUseless)
+			p.eq[i].valid = false
+		}
+	}
+}
+
+// QValue exposes a Q-table cell (tests).
+func (p *Prefetcher) QValue(state, action int) int32 { return p.q[state][action] }

@@ -1,0 +1,75 @@
+package pythia
+
+import (
+	"testing"
+
+	"github.com/bertisim/berti/internal/cache"
+)
+
+func TestLearnsUsefulOffsetOnStream(t *testing.T) {
+	p := New(DefaultConfig())
+	line := uint64(1 << 16)
+	issued := map[int64]int{}
+	for i := 0; i < 20000; i++ {
+		line++
+		reqs := p.OnAccess(cache.AccessEvent{LineAddr: line, Hit: false})
+		for _, r := range reqs {
+			issued[int64(r.LineAddr)-int64(line)]++
+		}
+	}
+	// On a +1 stream, positive small offsets must dominate the issued
+	// actions by the end of training.
+	pos, neg := 0, 0
+	for off, n := range issued {
+		if off > 0 {
+			pos += n
+		} else {
+			neg += n
+		}
+	}
+	if pos <= neg*3 {
+		t.Fatalf("RL did not converge to forward offsets: +%d vs -%d", pos, neg)
+	}
+}
+
+func TestUselessOutcomesSuppressAction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ExplorePeriod = 0 // pure exploitation after the nudges below
+	p := New(cfg)
+	// Manually reward action 0 (+1 line) as useless for one state many
+	// times; its Q-value must fall below the no-prefetch action's.
+	s := p.state(1000, 0)
+	e := eqEntry{state: s, action: 0}
+	for i := 0; i < 50; i++ {
+		p.reward(&e, cfg.RewardUseless)
+	}
+	if p.QValue(s, 0) >= 0 {
+		t.Fatalf("useless rewards did not lower Q: %d", p.QValue(s, 0))
+	}
+}
+
+func TestNoPrefetchActionStopsIssuing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ExplorePeriod = 0
+	p := New(cfg)
+	// Random traffic: most prefetches become useless via EQ overwrite;
+	// eventually the no-prefetch action should win frequently.
+	x := uint64(7)
+	issued := 0
+	total := 20000
+	for i := 0; i < total; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		reqs := p.OnAccess(cache.AccessEvent{LineAddr: x % (1 << 26), Hit: false})
+		issued += len(reqs)
+	}
+	if issued > total*9/10 {
+		t.Fatalf("Pythia never learned to hold back on random traffic: %d/%d", issued, total)
+	}
+}
+
+func TestIgnoresPlainHits(t *testing.T) {
+	p := New(DefaultConfig())
+	if reqs := p.OnAccess(cache.AccessEvent{LineAddr: 42, Hit: true}); reqs != nil {
+		t.Fatal("plain hits must not trigger")
+	}
+}

@@ -1,0 +1,72 @@
+package prefetch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/bertisim/berti/internal/cache"
+)
+
+// Factory builds a fresh prefetcher instance (one per core per run).
+type Factory func() cache.Prefetcher
+
+// Level says where a registered prefetcher is designed to sit.
+type Level int
+
+// Deployment levels.
+const (
+	AtL1D Level = iota
+	AtL2
+)
+
+// Entry describes a registered prefetcher design.
+type Entry struct {
+	Name    string
+	Level   Level
+	New     Factory
+	Comment string
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Entry{}
+)
+
+// Register adds a prefetcher design to the registry. Subpackages register
+// themselves in init functions; import them blank to populate:
+//
+//	import _ "github.com/bertisim/berti/internal/prefetch/all"
+func Register(e Entry) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[e.Name]; dup {
+		panic(fmt.Sprintf("prefetch: duplicate %q", e.Name))
+	}
+	registry[e.Name] = e
+}
+
+// ByName returns a registered design.
+func ByName(name string) (Entry, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// All returns registered designs sorted by level then name.
+func All() []Entry {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Entry, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Level != out[j].Level {
+			return out[i].Level < out[j].Level
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,125 @@
+package spp
+
+// perceptron is the Perceptron Prefetch Filter (PPF): a set of feature-
+// indexed weight tables whose sum decides whether an SPP candidate is
+// prefetched into L2, demoted to the LLC, or rejected. Issued and rejected
+// candidates are remembered in small tables so later demand behaviour can
+// train the weights (useful -> strengthen, useless/rejected-but-needed ->
+// correct).
+type perceptron struct {
+	cfg Config
+
+	// Weight tables (sizes follow Table III: 4096, 2048, 1024, 128).
+	wAddrSig []int8 // hash(target line ^ signature)
+	wLine    []int8 // target line low bits
+	wIPDelta []int8 // hash(trigger IP ^ depth)
+	wConf    []int8 // confidence bucket
+
+	// prefTable remembers issued prefetches awaiting an outcome.
+	prefTable []ppfRecord
+	// rejectTable remembers rejected candidates.
+	rejectTable []ppfRecord
+}
+
+// ppfRecord stores the features of one filtered decision.
+type ppfRecord struct {
+	valid bool
+	line  uint64
+	feats ppfFeatures
+}
+
+// ppfFeatures indexes into each weight table.
+type ppfFeatures struct {
+	addrSig int
+	line    int
+	ipDelta int
+	conf    int
+}
+
+func newPerceptron(cfg Config) *perceptron {
+	return &perceptron{
+		cfg:         cfg,
+		wAddrSig:    make([]int8, 4096),
+		wLine:       make([]int8, 2048),
+		wIPDelta:    make([]int8, 1024),
+		wConf:       make([]int8, 128),
+		prefTable:   make([]ppfRecord, 1024),
+		rejectTable: make([]ppfRecord, 1024),
+	}
+}
+
+func (p *perceptron) storageBits() int {
+	weights := (len(p.wAddrSig) + len(p.wLine) + len(p.wIPDelta) + len(p.wConf)) * 5
+	tables := (len(p.prefTable) + len(p.rejectTable)) * (24 + 12)
+	return weights + tables
+}
+
+// features extracts the weight-table indices for one candidate.
+func (p *perceptron) features(ip, target uint64, sig uint16, conf, depth int) ppfFeatures {
+	return ppfFeatures{
+		addrSig: int((target ^ uint64(sig)) % uint64(len(p.wAddrSig))),
+		line:    int(target % uint64(len(p.wLine))),
+		ipDelta: int((ip ^ uint64(depth)<<7 ^ ip>>13) % uint64(len(p.wIPDelta))),
+		conf:    clampInt(conf*len(p.wConf)/101, 0, len(p.wConf)-1),
+	}
+}
+
+// predict sums the weights for a candidate.
+func (p *perceptron) predict(ip, target uint64, sig uint16, conf, depth int) (int, ppfFeatures) {
+	f := p.features(ip, target, sig, conf, depth)
+	sum := int(p.wAddrSig[f.addrSig]) + int(p.wLine[f.line]) +
+		int(p.wIPDelta[f.ipDelta]) + int(p.wConf[f.conf])
+	return sum, f
+}
+
+func (p *perceptron) recordIssue(line uint64, f ppfFeatures) {
+	p.prefTable[line%uint64(len(p.prefTable))] = ppfRecord{valid: true, line: line, feats: f}
+}
+
+func (p *perceptron) recordReject(line uint64, f ppfFeatures) {
+	p.rejectTable[line%uint64(len(p.rejectTable))] = ppfRecord{valid: true, line: line, feats: f}
+}
+
+// onDemand trains on a demand access: an issued prefetch that gets demanded
+// was useful (train up); a rejected candidate that gets demanded was a
+// filtering mistake (train up too).
+func (p *perceptron) onDemand(line uint64) {
+	if r := &p.prefTable[line%uint64(len(p.prefTable))]; r.valid && r.line == line {
+		p.train(r.feats, +1)
+		r.valid = false
+	}
+	if r := &p.rejectTable[line%uint64(len(p.rejectTable))]; r.valid && r.line == line {
+		p.train(r.feats, +1)
+		r.valid = false
+	}
+}
+
+// onUselessEviction trains down when a prefetched line dies unused.
+func (p *perceptron) onUselessEviction(line uint64) {
+	if r := &p.prefTable[line%uint64(len(p.prefTable))]; r.valid && r.line == line {
+		p.train(r.feats, -1)
+		r.valid = false
+	}
+}
+
+// train nudges every feature weight by dir with 5-bit saturation.
+func (p *perceptron) train(f ppfFeatures, dir int8) {
+	bump := func(w *int8) {
+		v := int(*w) + int(dir)
+		*w = int8(clampInt(v, -16, 15))
+	}
+	bump(&p.wAddrSig[f.addrSig])
+	bump(&p.wLine[f.line])
+	bump(&p.wIPDelta[f.ipDelta])
+	bump(&p.wConf[f.conf])
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,253 @@
+// Package spp implements Signature Path Prefetching (Kim et al., MICRO
+// 2016) with the optional Perceptron Prefetch Filter (Bhatia et al., ISCA
+// 2019). SPP learns per-page delta signatures and walks the signature path
+// with compounding confidence; PPF replaces the hard confidence throttle
+// with a trained perceptron that decides prefetch level or rejection.
+package spp
+
+import "github.com/bertisim/berti/internal/cache"
+
+// Config parameterizes SPP(-PPF) per Table III.
+type Config struct {
+	STEntries int // 256-entry signature table
+	PTEntries int // 512-entry pattern table
+	PTWays    int // 4 delta slots per signature
+	MaxDepth  int // lookahead depth bound
+	// PrefetchThresholdPct stops the signature walk (25).
+	PrefetchThresholdPct int
+	// FillThresholdPct splits L2 vs LLC fills (90) when PPF is off.
+	FillThresholdPct int
+	// UsePPF enables the perceptron filter.
+	UsePPF bool
+	// PPFThreshold / PPFLowThreshold split prefetch-to-L2 / prefetch-
+	// to-LLC / reject decisions.
+	PPFThreshold    int
+	PPFLowThreshold int
+}
+
+// DefaultConfig returns plain SPP.
+func DefaultConfig() Config {
+	return Config{
+		STEntries:            256,
+		PTEntries:            512,
+		PTWays:               4,
+		MaxDepth:             8,
+		PrefetchThresholdPct: 25,
+		FillThresholdPct:     90,
+	}
+}
+
+// PPFConfig returns SPP-PPF (the paper's multi-level L2 configuration).
+func PPFConfig() Config {
+	c := DefaultConfig()
+	c.UsePPF = true
+	c.PrefetchThresholdPct = 8 // PPF explores deeper, the filter prunes
+	c.PPFThreshold = 0
+	c.PPFLowThreshold = -24
+	return c
+}
+
+// stEntry tracks one page's last offset and signature.
+type stEntry struct {
+	valid   bool
+	pageTag uint64
+	lastOff int
+	sig     uint16
+	lru     uint64
+}
+
+// ptDelta is one pattern-table delta slot.
+type ptDelta struct {
+	delta  int64
+	cDelta uint8
+}
+
+// ptEntry is one pattern-table row (indexed by signature).
+type ptEntry struct {
+	cSig   uint8
+	deltas []ptDelta
+}
+
+// Prefetcher is SPP with optional PPF.
+type Prefetcher struct {
+	cfg Config
+	st  []stEntry
+	pt  []ptEntry
+	lru uint64
+
+	ppf     *perceptron
+	scratch []cache.PrefetchReq
+}
+
+// New builds SPP (or SPP-PPF when cfg.UsePPF).
+func New(cfg Config) *Prefetcher {
+	p := &Prefetcher{
+		cfg: cfg,
+		st:  make([]stEntry, cfg.STEntries),
+		pt:  make([]ptEntry, cfg.PTEntries),
+	}
+	for i := range p.pt {
+		p.pt[i].deltas = make([]ptDelta, cfg.PTWays)
+	}
+	if cfg.UsePPF {
+		p.ppf = newPerceptron(cfg)
+	}
+	return p
+}
+
+// Name implements cache.Prefetcher.
+func (p *Prefetcher) Name() string {
+	if p.cfg.UsePPF {
+		return "spp-ppf"
+	}
+	return "spp"
+}
+
+// StorageBits implements cache.Prefetcher.
+func (p *Prefetcher) StorageBits() int {
+	stBits := p.cfg.STEntries * (16 + 6 + 12)
+	ptBits := p.cfg.PTEntries * (4 + p.cfg.PTWays*(7+4))
+	bits := stBits + ptBits
+	if p.ppf != nil {
+		bits += p.ppf.storageBits()
+	}
+	return bits
+}
+
+func (p *Prefetcher) stFor(page uint64) *stEntry {
+	idx := int(page % uint64(len(p.st)))
+	e := &p.st[idx]
+	tag := page / uint64(len(p.st))
+	if !e.valid || e.pageTag != tag {
+		*e = stEntry{valid: true, pageTag: tag, lastOff: -1}
+	}
+	p.lru++
+	e.lru = p.lru
+	return e
+}
+
+// updatePT folds an observed (signature, delta) pair into the pattern table.
+func (p *Prefetcher) updatePT(sig uint16, delta int64) {
+	e := &p.pt[int(sig)%len(p.pt)]
+	if e.cSig < 15 {
+		e.cSig++
+	} else {
+		// Global aging: halve all counters when the signature counter
+		// saturates so confidences stay fractional.
+		e.cSig = 8
+		for i := range e.deltas {
+			e.deltas[i].cDelta /= 2
+		}
+	}
+	low := 0
+	for i := range e.deltas {
+		if e.deltas[i].delta == delta {
+			if e.deltas[i].cDelta < 15 {
+				e.deltas[i].cDelta++
+			}
+			return
+		}
+		if e.deltas[i].cDelta < e.deltas[low].cDelta {
+			low = i
+		}
+	}
+	e.deltas[low] = ptDelta{delta: delta, cDelta: 1}
+}
+
+// sigUpdate folds a delta into the 12-bit signature.
+func sigUpdate(sig uint16, delta int64) uint16 {
+	return ((sig << 3) ^ uint16(delta&0x3F)) & 0xFFF
+}
+
+// OnAccess implements cache.Prefetcher: train, then walk the signature
+// path issuing prefetches with compounding confidence.
+func (p *Prefetcher) OnAccess(ev cache.AccessEvent) []cache.PrefetchReq {
+	if ev.Hit && !ev.PrefetchHit {
+		// SPP trains on L2 accesses that would miss the no-prefetch
+		// baseline; plain hits only update the PPF reject path.
+		if p.ppf != nil {
+			p.ppf.onDemand(ev.LineAddr)
+		}
+		return nil
+	}
+	page := ev.LineAddr >> 6
+	off := int(ev.LineAddr & 63)
+	st := p.stFor(page)
+	if st.lastOff >= 0 {
+		delta := int64(off - st.lastOff)
+		if delta != 0 {
+			p.updatePT(st.sig, delta)
+			st.sig = sigUpdate(st.sig, delta)
+		}
+	}
+	st.lastOff = off
+
+	if p.ppf != nil {
+		p.ppf.onDemand(ev.LineAddr)
+	}
+
+	// Lookahead walk.
+	p.scratch = p.scratch[:0]
+	sig := st.sig
+	conf := 100
+	base := int64(ev.LineAddr)
+	for depth := 0; depth < p.cfg.MaxDepth; depth++ {
+		e := &p.pt[int(sig)%len(p.pt)]
+		if e.cSig == 0 {
+			break
+		}
+		best := -1
+		for i := range e.deltas {
+			if e.deltas[i].cDelta == 0 {
+				continue
+			}
+			if best < 0 || e.deltas[i].cDelta > e.deltas[best].cDelta {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		d := e.deltas[best]
+		conf = conf * int(d.cDelta) / int(e.cSig)
+		if conf < p.cfg.PrefetchThresholdPct {
+			break
+		}
+		base += d.delta
+		target := uint64(base)
+		if target>>6 == page { // stay within the page (no GHR)
+			level := cache.LLC
+			if p.ppf != nil {
+				sum, feats := p.ppf.predict(ev.IP, target, sig, conf, depth)
+				switch {
+				case sum >= p.cfg.PPFThreshold:
+					level = cache.L2
+				case sum >= p.cfg.PPFLowThreshold:
+					level = cache.LLC
+				default:
+					p.ppf.recordReject(target, feats)
+					level = 0
+					goto next
+				}
+				p.ppf.recordIssue(target, feats)
+			} else if conf >= p.cfg.FillThresholdPct {
+				level = cache.L2
+			}
+			p.scratch = append(p.scratch, cache.PrefetchReq{
+				LineAddr:  target,
+				FillLevel: level,
+			})
+		}
+	next:
+		sig = sigUpdate(sig, d.delta)
+	}
+	return p.scratch
+}
+
+// OnFill implements cache.Prefetcher: PPF trains down when an unused
+// prefetched line is evicted.
+func (p *Prefetcher) OnFill(ev cache.FillEvent) {
+	if p.ppf != nil && ev.EvictedPrefetched && ev.EvictedAddr != 0 {
+		p.ppf.onUselessEviction(ev.EvictedAddr)
+	}
+}

@@ -1,0 +1,100 @@
+package spp
+
+import (
+	"testing"
+
+	"github.com/bertisim/berti/internal/cache"
+)
+
+func missAt(p *Prefetcher, line uint64) []cache.PrefetchReq {
+	return p.OnAccess(cache.AccessEvent{LineAddr: line, Hit: false})
+}
+
+func TestSignatureWalkOnStride(t *testing.T) {
+	p := New(DefaultConfig())
+	var reqs []cache.PrefetchReq
+	base := uint64(1 << 12)
+	for i := uint64(0); i < 40; i++ {
+		reqs = missAt(p, base+i*2)
+	}
+	if len(reqs) == 0 {
+		t.Fatal("SPP learned nothing from a constant-stride page walk")
+	}
+	// Targets follow the +2 path.
+	last := base + 39*2
+	for k, r := range reqs {
+		if r.LineAddr != last+2*uint64(k+1) {
+			t.Fatalf("walk target %d: got %d", k, r.LineAddr)
+		}
+	}
+}
+
+func TestConfidenceDecaysOverDepth(t *testing.T) {
+	cfg := DefaultConfig()
+	p := New(cfg)
+	base := uint64(1 << 14)
+	for i := uint64(0); i < 60; i++ {
+		missAt(p, base+i)
+	}
+	reqs := missAt(p, base+60)
+	if len(reqs) == 0 || len(reqs) > cfg.MaxDepth {
+		t.Fatalf("depth out of bounds: %d", len(reqs))
+	}
+}
+
+func TestStaysWithinPage(t *testing.T) {
+	p := New(DefaultConfig())
+	// Walk at the end of a page: predictions crossing the page must be
+	// suppressed (no GHR in this implementation).
+	page := uint64(77) << 6
+	var reqs []cache.PrefetchReq
+	for i := uint64(56); i < 63; i++ {
+		reqs = missAt(p, page+i)
+	}
+	for _, r := range reqs {
+		if r.LineAddr>>6 != 77 {
+			t.Fatalf("prediction crossed the page: %d", r.LineAddr)
+		}
+	}
+}
+
+func TestPPFRejectsAndLearns(t *testing.T) {
+	p := New(PPFConfig())
+	if p.Name() != "spp-ppf" {
+		t.Fatal("wrong name")
+	}
+	base := uint64(1 << 16)
+	for i := uint64(0); i < 60; i++ {
+		missAt(p, base+i*3)
+	}
+	// Simulate useless evictions repeatedly: the filter should learn to
+	// reject and the L2-level share should shrink.
+	countL2 := func(reqs []cache.PrefetchReq) int {
+		n := 0
+		for _, r := range reqs {
+			if r.FillLevel == cache.L2 {
+				n++
+			}
+		}
+		return n
+	}
+	before := countL2(missAt(p, base+200))
+	for round := 0; round < 400; round++ {
+		reqs := missAt(p, base+300+uint64(round)*3)
+		for _, r := range reqs {
+			p.OnFill(cache.FillEvent{EvictedPrefetched: true, EvictedAddr: r.LineAddr})
+		}
+	}
+	after := countL2(missAt(p, base+3000))
+	if after > before {
+		t.Fatalf("PPF did not learn from useless evictions: before=%d after=%d", before, after)
+	}
+}
+
+func TestPPFStorageLargerThanSPP(t *testing.T) {
+	plain := New(DefaultConfig())
+	ppf := New(PPFConfig())
+	if ppf.StorageBits() <= plain.StorageBits() {
+		t.Fatal("PPF adds perceptron state")
+	}
+}

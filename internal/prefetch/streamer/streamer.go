@@ -1,0 +1,125 @@
+// Package streamer implements an Intel-style L2 stream prefetcher: it
+// detects ascending or descending access streams within 4 KB regions and
+// runs ahead of them with an adaptive distance. Commercial processors pair
+// a streamer at L2 with an IP-stride unit at L1D (the paper's Section I
+// notes this deployment), making it a natural extra baseline.
+package streamer
+
+import "github.com/bertisim/berti/internal/cache"
+
+// Config parameterizes the streamer.
+type Config struct {
+	// Entries is the number of concurrently tracked streams.
+	Entries int
+	// MaxDistance bounds the run-ahead distance in lines.
+	MaxDistance int
+	// TrainThreshold is the number of same-direction accesses needed to
+	// confirm a stream.
+	TrainThreshold int
+	FillLevel      cache.Level
+}
+
+// DefaultConfig matches a typical 16-stream L2 streamer.
+func DefaultConfig() Config {
+	return Config{Entries: 16, MaxDistance: 8, TrainThreshold: 2, FillLevel: cache.L2}
+}
+
+// stream tracks one region's direction and confidence.
+type stream struct {
+	valid     bool
+	page      uint64
+	lastOff   int
+	upVotes   int
+	downVotes int
+	distance  int
+	lru       uint64
+}
+
+// Prefetcher is the streamer.
+type Prefetcher struct {
+	cfg     Config
+	streams []stream
+	lru     uint64
+	scratch []cache.PrefetchReq
+}
+
+// New builds a streamer.
+func New(cfg Config) *Prefetcher {
+	return &Prefetcher{cfg: cfg, streams: make([]stream, cfg.Entries)}
+}
+
+// Name implements cache.Prefetcher.
+func (p *Prefetcher) Name() string { return "streamer" }
+
+// StorageBits implements cache.Prefetcher.
+func (p *Prefetcher) StorageBits() int { return p.cfg.Entries * (36 + 6 + 4 + 4 + 4 + 5) }
+
+// OnAccess implements cache.Prefetcher.
+func (p *Prefetcher) OnAccess(ev cache.AccessEvent) []cache.PrefetchReq {
+	if ev.Hit && !ev.PrefetchHit {
+		return nil
+	}
+	page := ev.LineAddr >> 6
+	off := int(ev.LineAddr & 63)
+	p.lru++
+
+	var st *stream
+	for i := range p.streams {
+		if p.streams[i].valid && p.streams[i].page == page {
+			st = &p.streams[i]
+			break
+		}
+	}
+	if st == nil {
+		st = &p.streams[0]
+		for i := range p.streams {
+			if !p.streams[i].valid {
+				st = &p.streams[i]
+				break
+			}
+			if p.streams[i].lru < st.lru {
+				st = &p.streams[i]
+			}
+		}
+		*st = stream{valid: true, page: page, lastOff: off, distance: 2}
+		st.lru = p.lru
+		return nil
+	}
+	st.lru = p.lru
+	switch {
+	case off > st.lastOff:
+		st.upVotes++
+	case off < st.lastOff:
+		st.downVotes++
+	}
+	st.lastOff = off
+
+	dir := 0
+	if st.upVotes >= st.downVotes+p.cfg.TrainThreshold {
+		dir = 1
+	} else if st.downVotes >= st.upVotes+p.cfg.TrainThreshold {
+		dir = -1
+	}
+	if dir == 0 {
+		return nil
+	}
+	// Confirmed stream: run ahead, ramping the distance up.
+	if st.distance < p.cfg.MaxDistance {
+		st.distance++
+	}
+	p.scratch = p.scratch[:0]
+	for k := 1; k <= st.distance; k++ {
+		target := int64(ev.LineAddr) + int64(dir*k)
+		if target < 0 || uint64(target)>>6 != page {
+			break // streams stop at the 4 KB boundary (physical space)
+		}
+		p.scratch = append(p.scratch, cache.PrefetchReq{
+			LineAddr:  uint64(target),
+			FillLevel: p.cfg.FillLevel,
+		})
+	}
+	return p.scratch
+}
+
+// OnFill implements cache.Prefetcher.
+func (p *Prefetcher) OnFill(cache.FillEvent) {}

@@ -1,0 +1,81 @@
+package streamer
+
+import (
+	"testing"
+
+	"github.com/bertisim/berti/internal/cache"
+)
+
+func TestDetectsAscendingStream(t *testing.T) {
+	p := New(DefaultConfig())
+	var reqs []cache.PrefetchReq
+	base := uint64(42 << 6)
+	for i := uint64(0); i < 8; i++ {
+		reqs = p.OnAccess(cache.AccessEvent{LineAddr: base + i, Hit: false})
+	}
+	if len(reqs) == 0 {
+		t.Fatal("stream not detected")
+	}
+	for k, r := range reqs {
+		if r.LineAddr != base+7+uint64(k+1) {
+			t.Fatalf("run-ahead target %d wrong: %d", k, r.LineAddr)
+		}
+	}
+}
+
+func TestDetectsDescendingStream(t *testing.T) {
+	p := New(DefaultConfig())
+	var reqs []cache.PrefetchReq
+	base := uint64(42<<6 + 60)
+	for i := uint64(0); i < 8; i++ {
+		reqs = p.OnAccess(cache.AccessEvent{LineAddr: base - i, Hit: false})
+	}
+	if len(reqs) == 0 || reqs[0].LineAddr != base-8 {
+		t.Fatalf("descending stream not covered: %v", reqs)
+	}
+}
+
+func TestStopsAtPageBoundary(t *testing.T) {
+	p := New(DefaultConfig())
+	var reqs []cache.PrefetchReq
+	base := uint64(42 << 6)
+	for i := uint64(58); i < 64; i++ {
+		reqs = p.OnAccess(cache.AccessEvent{LineAddr: base + i, Hit: false})
+	}
+	for _, r := range reqs {
+		if r.LineAddr>>6 != 42 {
+			t.Fatalf("stream crossed the page: %d", r.LineAddr)
+		}
+	}
+}
+
+func TestDistanceRamps(t *testing.T) {
+	p := New(DefaultConfig())
+	base := uint64(7 << 6)
+	var first, last int
+	for i := uint64(0); i < 20; i++ {
+		reqs := p.OnAccess(cache.AccessEvent{LineAddr: base + i, Hit: false})
+		if len(reqs) > 0 && first == 0 {
+			first = len(reqs)
+		}
+		if len(reqs) > 0 {
+			last = len(reqs)
+		}
+	}
+	if last <= first {
+		t.Fatalf("distance should ramp: first=%d last=%d", first, last)
+	}
+}
+
+func TestNoStreamOnRandom(t *testing.T) {
+	p := New(DefaultConfig())
+	x := uint64(5)
+	issued := 0
+	for i := 0; i < 2000; i++ {
+		x = x*2862933555777941757 + 3037000493
+		issued += len(p.OnAccess(cache.AccessEvent{LineAddr: x % (1 << 24), Hit: false}))
+	}
+	if issued > 400 {
+		t.Fatalf("random traffic should rarely confirm streams: %d", issued)
+	}
+}

@@ -1,0 +1,191 @@
+// Package vldp implements Variable Length Delta Prefetching (Shevgoor et
+// al., MICRO 2015): per-page delta histories feed a cascade of delta
+// prediction tables keyed by progressively longer delta sequences; the
+// longest-history table that hits makes the prediction.
+package vldp
+
+import "github.com/bertisim/berti/internal/cache"
+
+// Config parameterizes VLDP.
+type Config struct {
+	DHBEntries int // delta history buffer (pages tracked)
+	DPTEntries int // entries per delta prediction table
+	Degree     int
+	FillLevel  cache.Level
+}
+
+// DefaultConfig follows the MICRO 2015 design.
+func DefaultConfig() Config {
+	return Config{DHBEntries: 16, DPTEntries: 64, Degree: 4, FillLevel: cache.L2}
+}
+
+// dhbEntry tracks one page's recent deltas.
+type dhbEntry struct {
+	valid   bool
+	page    uint64
+	lastOff int
+	deltas  [3]int64 // most recent first
+	nDeltas int
+	lru     uint64
+}
+
+// dptEntry is one delta-prediction-table entry.
+type dptEntry struct {
+	valid bool
+	key   uint64
+	pred  int64
+	conf  uint8 // 2-bit
+}
+
+// Prefetcher is the VLDP prefetcher.
+type Prefetcher struct {
+	cfg     Config
+	dhb     []dhbEntry
+	dpt     [3][]dptEntry // dpt[k] keyed by the last k+1 deltas
+	lru     uint64
+	scratch []cache.PrefetchReq
+}
+
+// New builds a VLDP prefetcher.
+func New(cfg Config) *Prefetcher {
+	p := &Prefetcher{cfg: cfg, dhb: make([]dhbEntry, cfg.DHBEntries)}
+	for k := range p.dpt {
+		p.dpt[k] = make([]dptEntry, cfg.DPTEntries)
+	}
+	return p
+}
+
+// Name implements cache.Prefetcher.
+func (p *Prefetcher) Name() string { return "vldp" }
+
+// StorageBits implements cache.Prefetcher.
+func (p *Prefetcher) StorageBits() int {
+	dhbBits := p.cfg.DHBEntries * (20 + 6 + 3*12 + 4)
+	dptBits := 3 * p.cfg.DPTEntries * (16 + 12 + 2)
+	return dhbBits + dptBits
+}
+
+func key(deltas []int64) uint64 {
+	var k uint64
+	for _, d := range deltas {
+		k = k*1000003 + uint64(d&0xFFF)
+	}
+	return k
+}
+
+func (p *Prefetcher) dptLookup(level int, deltas []int64) *dptEntry {
+	k := key(deltas)
+	e := &p.dpt[level][k%uint64(len(p.dpt[level]))]
+	if e.valid && e.key == k {
+		return e
+	}
+	return nil
+}
+
+func (p *Prefetcher) dptUpdate(level int, deltas []int64, actual int64) {
+	k := key(deltas)
+	e := &p.dpt[level][k%uint64(len(p.dpt[level]))]
+	if !e.valid || e.key != k {
+		*e = dptEntry{valid: true, key: k, pred: actual, conf: 1}
+		return
+	}
+	if e.pred == actual {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		if e.conf > 0 {
+			e.conf--
+		} else {
+			e.pred = actual
+		}
+	}
+}
+
+// OnAccess implements cache.Prefetcher.
+func (p *Prefetcher) OnAccess(ev cache.AccessEvent) []cache.PrefetchReq {
+	if ev.Hit && !ev.PrefetchHit {
+		return nil
+	}
+	page := ev.LineAddr >> 6
+	off := int(ev.LineAddr & 63)
+	var e *dhbEntry
+	for i := range p.dhb {
+		if p.dhb[i].valid && p.dhb[i].page == page {
+			e = &p.dhb[i]
+			break
+		}
+	}
+	p.lru++
+	if e == nil {
+		v := &p.dhb[0]
+		for i := range p.dhb {
+			if !p.dhb[i].valid {
+				v = &p.dhb[i]
+				break
+			}
+			if p.dhb[i].lru < v.lru {
+				v = &p.dhb[i]
+			}
+		}
+		*v = dhbEntry{valid: true, page: page, lastOff: off, lru: p.lru}
+		return nil
+	}
+	e.lru = p.lru
+	delta := int64(off - e.lastOff)
+	e.lastOff = off
+	if delta == 0 {
+		return nil
+	}
+	// Train every table whose history is available.
+	for k := 0; k < 3 && k < e.nDeltas; k++ {
+		p.dptUpdate(k, e.deltas[:k+1], delta)
+	}
+	// Shift the new delta in.
+	e.deltas[2], e.deltas[1], e.deltas[0] = e.deltas[1], e.deltas[0], delta
+	if e.nDeltas < 3 {
+		e.nDeltas++
+	}
+
+	// Predict with the longest-history table that hits; chain for degree.
+	p.scratch = p.scratch[:0]
+	hist := make([]int64, e.nDeltas)
+	copy(hist, e.deltas[:e.nDeltas])
+	base := int64(ev.LineAddr)
+	for n := 0; n < p.cfg.Degree; n++ {
+		var pred *dptEntry
+		for k := min(3, len(hist)) - 1; k >= 0; k-- {
+			if c := p.dptLookup(k, hist[:k+1]); c != nil && c.conf >= 2 {
+				pred = c
+				break
+			}
+		}
+		if pred == nil {
+			break
+		}
+		base += pred.pred
+		if uint64(base)>>6 != page {
+			break // stay within the page
+		}
+		p.scratch = append(p.scratch, cache.PrefetchReq{
+			LineAddr:  uint64(base),
+			FillLevel: p.cfg.FillLevel,
+		})
+		// Advance the speculative history.
+		hist = append([]int64{pred.pred}, hist...)
+		if len(hist) > 3 {
+			hist = hist[:3]
+		}
+	}
+	return p.scratch
+}
+
+// OnFill implements cache.Prefetcher.
+func (p *Prefetcher) OnFill(cache.FillEvent) {}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,47 @@
+package vldp
+
+import (
+	"testing"
+
+	"github.com/bertisim/berti/internal/cache"
+)
+
+func TestPredictsRepeatingDeltas(t *testing.T) {
+	p := New(DefaultConfig())
+	page := uint64(3) << 6
+	offs := []uint64{1, 2, 4, 5, 7, 8, 10, 11, 13, 14, 16, 17, 19, 20, 22}
+	var reqs []cache.PrefetchReq
+	for _, o := range offs {
+		reqs = p.OnAccess(cache.AccessEvent{LineAddr: page + o, Hit: false})
+	}
+	if len(reqs) == 0 {
+		t.Fatal("VLDP learned nothing from the +1/+2 pattern")
+	}
+	for _, r := range reqs {
+		if r.LineAddr>>6 != 3 {
+			t.Fatalf("prediction left the page: %d", r.LineAddr)
+		}
+	}
+}
+
+func TestLongestHistoryWins(t *testing.T) {
+	p := New(DefaultConfig())
+	// Two contexts: after (2,1) comes 3; after (1,1) comes 2 — only a
+	// multi-delta history disambiguates.
+	page := uint64(9) << 6
+	seq := []uint64{1, 3, 4, 7, 8, 10, 11, 14, 15, 17, 18, 21, 22, 24}
+	var reqs []cache.PrefetchReq
+	for _, o := range seq {
+		reqs = p.OnAccess(cache.AccessEvent{LineAddr: page + o, Hit: false})
+	}
+	if len(reqs) == 0 {
+		t.Fatal("no prediction from multi-delta history")
+	}
+}
+
+func TestIgnoresHits(t *testing.T) {
+	p := New(DefaultConfig())
+	if reqs := p.OnAccess(cache.AccessEvent{LineAddr: 100, Hit: true}); reqs != nil {
+		t.Fatal("plain hits must not train VLDP")
+	}
+}

@@ -1,0 +1,78 @@
+// Package sim composes the substrates into a full system simulator: an
+// out-of-order core approximation driving the L1D, private L2, shared LLC,
+// and one DRAM channel, mirroring the paper's Table II baseline (an Intel
+// Sunny Cove-like core at 4 GHz).
+package sim
+
+import (
+	"github.com/bertisim/berti/internal/cache"
+	"github.com/bertisim/berti/internal/dram"
+	"github.com/bertisim/berti/internal/vm"
+)
+
+// CoreConfig sets the core-model parameters.
+type CoreConfig struct {
+	ROBSize     int // 352-entry ROB
+	IssueWidth  int // 6-issue
+	RetireWidth int // 4-retire
+	LoadPorts   int // L1D read ports used per cycle
+	StorePorts  int
+	// NonMemLatency is the execution latency of non-memory instructions.
+	NonMemLatency uint64
+}
+
+// Config describes a full system.
+type Config struct {
+	Cores int
+	Core  CoreConfig
+	L1D   cache.Config
+	L2    cache.Config
+	LLC   cache.Config // sized per core; scaled by Cores at build time
+	DRAM  dram.Config
+	MMU   vm.MMUConfig
+	// WarmupInstructions are executed before statistics collection.
+	WarmupInstructions uint64
+	// SimInstructions are measured after warmup (per core).
+	SimInstructions uint64
+}
+
+// DefaultConfig mirrors Table II for one core.
+func DefaultConfig() Config {
+	return Config{
+		Cores: 1,
+		Core: CoreConfig{
+			ROBSize:       352,
+			IssueWidth:    6,
+			RetireWidth:   4,
+			LoadPorts:     2,
+			StorePorts:    1,
+			NonMemLatency: 1,
+		},
+		L1D: cache.Config{
+			Name: "L1D", Level: cache.L1D,
+			SizeBytes: 48 * 1024, Ways: 12, LatencyCyc: 5,
+			MSHRs: 16, RQSize: 24, WQSize: 16, PQSize: 16,
+			ReadPorts: 2, WritePorts: 1, Repl: cache.LRU,
+		},
+		L2: cache.Config{
+			Name: "L2", Level: cache.L2,
+			SizeBytes: 512 * 1024, Ways: 8, LatencyCyc: 10,
+			MSHRs: 32, RQSize: 32, WQSize: 32, PQSize: 32,
+			ReadPorts: 1, WritePorts: 1, Repl: cache.SRRIP,
+		},
+		LLC: cache.Config{
+			Name: "LLC", Level: cache.LLC,
+			SizeBytes: 2 * 1024 * 1024, Ways: 16, LatencyCyc: 20,
+			MSHRs: 64, RQSize: 48, WQSize: 48, PQSize: 32,
+			ReadPorts: 1, WritePorts: 1, Repl: cache.DRRIP,
+		},
+		DRAM:               dram.ConfigDDR5_6400(),
+		MMU:                vm.DefaultMMUConfig(),
+		WarmupInstructions: 200_000,
+		SimInstructions:    1_000_000,
+	}
+}
+
+// PrefetcherFactory builds a prefetcher instance for one core's cache
+// level; nil factories mean no prefetching at that level.
+type PrefetcherFactory func() cache.Prefetcher

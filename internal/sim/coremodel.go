@@ -1,0 +1,355 @@
+package sim
+
+import (
+	"io"
+
+	"github.com/bertisim/berti/internal/cache"
+	"github.com/bertisim/berti/internal/stats"
+	"github.com/bertisim/berti/internal/trace"
+	"github.com/bertisim/berti/internal/vm"
+)
+
+// robEntry is one reorder-buffer slot. Non-memory instructions between
+// memory operations are aggregated into a single entry with a count, which
+// preserves window-occupancy and retire-bandwidth semantics at a fraction
+// of the bookkeeping cost.
+type robEntry struct {
+	nonMem uint32 // >0: aggregated run of non-memory instructions
+	isMem  bool
+	kind   trace.Kind
+	vaddr  uint64
+	ip     uint64
+	recIdx uint64 // global memory-record index (dependence tracking)
+	dep    uint64 // producer record index + 1 (0 = independent)
+
+	issued    bool
+	done      bool
+	doneCycle uint64
+}
+
+// depWindow tracks completion cycles of recent memory records so dependent
+// accesses (pointer chases) serialize behind their producers.
+const depWindow = 1024
+
+// Core is the trace-driven out-of-order core approximation: a 352-entry
+// instruction window filled at issue-width, memory operations issued
+// through limited L1D ports, in-order retirement at retire-width.
+type Core struct {
+	ID     int
+	cfg    CoreConfig
+	reader trace.Reader
+	mmu    *vm.MMU
+	l1d    *cache.Cache
+
+	rob       []robEntry
+	robHead   int
+	robTail   int
+	robCount  int // entries
+	robInstrs int // instructions occupying the window
+	// issueSkip counts entries from the head known to contain no
+	// unissued memory operation, so the per-cycle issue scan can start
+	// past them (the scan dominates simulation time otherwise).
+	issueSkip int
+
+	// pending is the next trace record being dispatched (nonMem first).
+	pending       trace.Record
+	pendingValid  bool
+	pendingNonMem uint32
+	traceDone     bool
+
+	memRecords uint64 // global memory-record counter
+	depDone    [depWindow]uint64
+	depReady   [depWindow]bool
+
+	Stats stats.CoreStats
+	// RetiredTotal counts instructions retired since construction
+	// (Stats.Instructions is reset after warmup).
+	RetiredTotal uint64
+	// IssueBlocked counts issue attempts refused by a full L1D RQ.
+	IssueBlocked uint64
+	// DepBlocked counts issue attempts blocked by an incomplete producer.
+	DepBlocked uint64
+	// LoadLatHist buckets load issue->complete latencies by power of two
+	// (diagnostics).
+	LoadLatHist [20]uint64
+	// DispatchToIssue accumulates dispatch->issue delay (diagnostics).
+	issueDelaySum uint64
+	// FinishedCycle is set when RetiredTotal first reaches its target.
+	finishTarget  uint64
+	FinishedCycle uint64
+	Finished      bool
+}
+
+// NewCore builds a core bound to its trace, MMU, and L1D.
+func NewCore(id int, cfg CoreConfig, rd trace.Reader, mmu *vm.MMU, l1d *cache.Cache) *Core {
+	return &Core{
+		ID:     id,
+		cfg:    cfg,
+		reader: rd,
+		mmu:    mmu,
+		l1d:    l1d,
+		rob:    make([]robEntry, cfg.ROBSize+1),
+	}
+}
+
+// SetFinishTarget arms FinishedCycle at the given total retired count.
+func (c *Core) SetFinishTarget(totalInstructions uint64) {
+	c.finishTarget = totalInstructions
+}
+
+// Tick advances the core one cycle: retire, dispatch, issue.
+func (c *Core) Tick(cycle uint64) {
+	c.Stats.Cycles++
+	c.retire(cycle)
+	c.dispatch(cycle)
+	c.issue(cycle)
+}
+
+// Done reports whether the core has exhausted its trace and window.
+func (c *Core) Done() bool {
+	return c.traceDone && !c.pendingValid && c.robCount == 0
+}
+
+func (c *Core) retire(cycle uint64) {
+	budget := c.cfg.RetireWidth
+	for budget > 0 && c.robCount > 0 {
+		e := &c.rob[c.robHead]
+		if e.nonMem > 0 {
+			n := uint32(budget)
+			if n > e.nonMem {
+				n = e.nonMem
+			}
+			e.nonMem -= n
+			c.robInstrs -= int(n)
+			budget -= int(n)
+			c.retired(uint64(n), cycle)
+			if e.nonMem > 0 {
+				return
+			}
+			c.popHead()
+			continue
+		}
+		// Memory instruction: must be complete.
+		if !e.done || e.doneCycle > cycle {
+			return
+		}
+		budget--
+		c.retired(1, cycle)
+		c.popHead()
+	}
+}
+
+func (c *Core) retired(n, cycle uint64) {
+	c.Stats.Instructions += n
+	c.RetiredTotal += n
+	if !c.Finished && c.finishTarget > 0 && c.RetiredTotal >= c.finishTarget {
+		c.Finished = true
+		c.FinishedCycle = cycle
+	}
+}
+
+func (c *Core) popHead() {
+	c.robInstrs -= c.entryInstrs(&c.rob[c.robHead])
+	c.rob[c.robHead] = robEntry{}
+	c.robHead = (c.robHead + 1) % len(c.rob)
+	c.robCount--
+	if c.issueSkip > 0 {
+		c.issueSkip--
+	}
+}
+
+func (c *Core) entryInstrs(e *robEntry) int {
+	if e.isMem {
+		return 1
+	}
+	return int(e.nonMem)
+}
+
+// dispatch brings up to IssueWidth instructions into the window.
+func (c *Core) dispatch(cycle uint64) {
+	budget := c.cfg.IssueWidth
+	for budget > 0 {
+		if !c.pendingValid {
+			if c.traceDone {
+				return
+			}
+			rec, err := c.reader.Next()
+			if err != nil {
+				if err == io.EOF {
+					c.traceDone = true
+					return
+				}
+				panic(err)
+			}
+			c.pending = rec
+			c.pendingNonMem = rec.NonMemBefore
+			c.pendingValid = true
+		}
+		if c.robInstrs >= c.cfg.ROBSize {
+			c.Stats.ROBFullStalls++
+			return
+		}
+		if c.pendingNonMem > 0 {
+			n := uint32(budget)
+			if room := uint32(c.cfg.ROBSize - c.robInstrs); n > room {
+				n = room
+			}
+			if n > c.pendingNonMem {
+				n = c.pendingNonMem
+			}
+			c.pendingNonMem -= n
+			budget -= int(n)
+			c.pushNonMem(n)
+			continue
+		}
+		// Dispatch the memory operation itself.
+		c.memRecords++
+		idx := c.memRecords
+		var dep uint64
+		if d := uint64(c.pending.DepDist); d > 0 && d < idx {
+			dep = idx - d + 1 // +1 so 0 means "independent"
+			// Out-of-window producers are treated as complete.
+			if idx-(dep-1) >= depWindow {
+				dep = 0
+			}
+		}
+		c.depReady[idx%depWindow] = false
+		e := robEntry{
+			isMem:  true,
+			kind:   c.pending.Kind,
+			vaddr:  c.pending.Addr,
+			ip:     c.pending.IP,
+			recIdx: idx,
+			dep:    dep,
+		}
+		c.pushEntry(e)
+		budget--
+		c.pendingValid = false
+		if c.pending.Kind == trace.Load {
+			c.Stats.Loads++
+		} else {
+			c.Stats.Stores++
+		}
+	}
+}
+
+func (c *Core) pushNonMem(n uint32) {
+	// Merge into the previous tail entry when it is a non-mem run that
+	// has not begun retiring (keeps the ring short).
+	if c.robCount > 0 {
+		lastIdx := (c.robTail + len(c.rob) - 1) % len(c.rob)
+		last := &c.rob[lastIdx]
+		if !last.isMem && lastIdx != c.robHead {
+			last.nonMem += n
+			c.robInstrs += int(n)
+			return
+		}
+	}
+	c.pushEntry(robEntry{nonMem: n})
+}
+
+func (c *Core) pushEntry(e robEntry) {
+	if c.robCount >= len(c.rob) {
+		panic("sim: ROB ring overflow")
+	}
+	c.robInstrs += c.entryInstrs(&e)
+	c.rob[c.robTail] = e
+	c.robTail = (c.robTail + 1) % len(c.rob)
+	c.robCount++
+}
+
+// issue sends ready memory operations to the L1D through limited ports.
+func (c *Core) issue(cycle uint64) {
+	loads := c.cfg.LoadPorts
+	stores := c.cfg.StorePorts
+	i := (c.robHead + c.issueSkip) % len(c.rob)
+	advancing := true
+	for n := c.issueSkip; n < c.robCount && (loads > 0 || stores > 0); n++ {
+		e := &c.rob[i]
+		i = (i + 1) % len(c.rob)
+		if !e.isMem || e.issued {
+			if advancing {
+				c.issueSkip++
+			}
+			continue
+		}
+		advancing = false
+		if e.kind == trace.Load && loads == 0 {
+			continue
+		}
+		if e.kind == trace.Store && stores == 0 {
+			continue
+		}
+		// Dependence check: producer must have completed.
+		if e.dep != 0 {
+			slot := (e.dep - 1) % depWindow
+			if !c.depReady[slot] || c.depDone[slot] > cycle {
+				c.DepBlocked++
+				continue
+			}
+		}
+		if !c.tryIssue(e, cycle) {
+			// L1D RQ full: stop issuing this cycle.
+			return
+		}
+		if e.kind == trace.Load {
+			loads--
+		} else {
+			stores--
+		}
+	}
+}
+
+// tryIssue translates and sends one memory op to the L1D.
+func (c *Core) tryIssue(e *robEntry, cycle uint64) bool {
+	if c.l1d.RQOccupancy() >= c.l1d.RQCap() {
+		c.IssueBlocked++
+		return false
+	}
+	paddr, xlat := c.mmu.TranslateDemand(e.vaddr)
+	recIdx := e.recIdx
+	req := &cache.Req{
+		LineAddr:  paddr >> cache.LineShift,
+		VLineAddr: e.vaddr >> cache.LineShift,
+		IP:        e.ip,
+		FillLevel: cache.L1D,
+		Store:     e.kind == trace.Store,
+	}
+	entry := e
+	issuedAt := cycle
+	req.OnDone = func(done uint64) {
+		entry.done = true
+		entry.doneCycle = done
+		slot := recIdx % depWindow
+		c.depDone[slot] = done
+		c.depReady[slot] = true
+		d := done - issuedAt
+		b := 0
+		for d > 0 && b < len(c.LoadLatHist)-1 {
+			d >>= 1
+			b++
+		}
+		c.LoadLatHist[b]++
+	}
+	if e.kind == trace.Store {
+		// Stores retire without waiting for the fill; the L1D handles
+		// write-allocation in the background.
+		e.done = true
+		e.doneCycle = cycle + 1
+		req.OnDone = func(done uint64) {
+			slot := recIdx % depWindow
+			c.depDone[slot] = done
+			c.depReady[slot] = true
+		}
+	}
+	if !c.l1d.AcceptDemand(req, cycle+xlat) {
+		return false
+	}
+	e.issued = true
+	return true
+}
+
+// ResetStats clears measured counters (after warmup).
+func (c *Core) ResetStats() {
+	c.Stats = stats.CoreStats{}
+}

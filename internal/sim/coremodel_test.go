@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/bertisim/berti/internal/trace"
+)
+
+// TestRetireOrderInOrder: completion out of order must not reorder
+// retirement — a fast later load cannot retire past a slow earlier one.
+func TestRetireOrderInOrder(t *testing.T) {
+	tr := &trace.Slice{}
+	// One slow (cold DRAM) load followed by many same-line (fast) loads.
+	tr.Append(trace.Record{IP: 0x400040, Addr: 0x9_0000_0000, Kind: trace.Load, NonMemBefore: 0})
+	for i := 0; i < 1000; i++ {
+		tr.Append(trace.Record{IP: 0x400061, Addr: 0x8_0000_0000, Kind: trace.Load, NonMemBefore: 0})
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupInstructions = 0
+	cfg.SimInstructions = 900
+	res := RunOnce(cfg, tr, nil, nil)
+	// The window is 352: until the head (slow) load completes, at most
+	// ROBSize instructions can be in flight; cycles must cover at least
+	// the head's miss latency.
+	if res.Cores[0].Core.Cycles < 100 {
+		t.Fatalf("head-of-line miss not respected: %d cycles", res.Cores[0].Core.Cycles)
+	}
+}
+
+// TestIssueSkipDoesNotSkipUnissued: a dep-blocked older load must still
+// issue after its producer completes, even with the skip optimization.
+func TestIssueSkipDoesNotSkipUnissued(t *testing.T) {
+	tr := &trace.Slice{}
+	// Producer (slow), dependent consumer, then independent loads that
+	// issue first (tempting the scan to skip past the consumer).
+	tr.Append(trace.Record{IP: 0x1, Addr: 0x9_0000_0000, Kind: trace.Load, NonMemBefore: 0})
+	tr.Append(trace.Record{IP: 0x2, Addr: 0x9_1000_0000, Kind: trace.Load, NonMemBefore: 0, DepDist: 1})
+	for i := 0; i < 200; i++ {
+		tr.Append(trace.Record{IP: 0x3, Addr: 0x8_0000_0000, Kind: trace.Load, NonMemBefore: 0})
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupInstructions = 0
+	cfg.SimInstructions = 202
+	res := RunOnce(cfg, tr, nil, nil) // must terminate: consumer issues eventually
+	if res.Cores[0].Core.Loads != 202 {
+		t.Fatalf("loads retired = %d, want 202", res.Cores[0].Core.Loads)
+	}
+}
+
+// TestNonMemAggregation: huge non-memory runs must respect window capacity
+// and retire bandwidth.
+func TestNonMemAggregation(t *testing.T) {
+	tr := &trace.Slice{}
+	for i := 0; i < 100; i++ {
+		tr.Append(trace.Record{IP: 0x1, Addr: 0x8_0000_0000, Kind: trace.Load, NonMemBefore: 4000})
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupInstructions = 0
+	cfg.SimInstructions = 100_000
+	res := RunOnce(cfg, tr, nil, nil)
+	// Pure ALU work retires at exactly RetireWidth=4 per cycle
+	// asymptotically.
+	if ipc := res.IPC(); ipc < 3.5 || ipc > 4.01 {
+		t.Fatalf("nonmem IPC = %.3f, want ~4", ipc)
+	}
+}
+
+// TestDoneWithoutTarget: a machine whose trace runs out terminates.
+func TestDoneWithoutTarget(t *testing.T) {
+	tr := &trace.Slice{}
+	for i := 0; i < 100; i++ {
+		tr.Append(trace.Record{IP: 0x1, Addr: 0x8_0000_0000 + uint64(i)*64, Kind: trace.Load, NonMemBefore: 1})
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupInstructions = 0
+	cfg.SimInstructions = 1_000_000 // more than the trace holds
+	m := New(cfg, []trace.Reader{trace.NewSliceReader(tr)}, nil, nil)
+	res := m.Run() // must not hang: Done() ends the run
+	if res.Cores[0].Core.Instructions == 0 {
+		t.Fatal("nothing retired")
+	}
+}
+
+// TestDepDistToStore: dependences on stores resolve (store completion is
+// posted at issue).
+func TestDepDistToStore(t *testing.T) {
+	tr := &trace.Slice{}
+	for i := 0; i < 2000; i++ {
+		tr.Append(trace.Record{IP: 0x1, Addr: 0x8_0000_0000 + uint64(i)*64, Kind: trace.Store, NonMemBefore: 1})
+		tr.Append(trace.Record{IP: 0x2, Addr: 0x9_0000_0000 + uint64(i)*64, Kind: trace.Load, NonMemBefore: 1, DepDist: 1})
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupInstructions = 0
+	cfg.SimInstructions = 7000
+	res := RunOnce(cfg, tr, nil, nil)
+	if res.Cores[0].Core.Loads == 0 || res.Cores[0].Core.Stores == 0 {
+		t.Fatal("mixed trace did not retire")
+	}
+}

@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/bertisim/berti/internal/cache"
+	"github.com/bertisim/berti/internal/dram"
+	"github.com/bertisim/berti/internal/stats"
+	"github.com/bertisim/berti/internal/trace"
+	"github.com/bertisim/berti/internal/vm"
+)
+
+// dramAdaptor bridges cache.Lower to the DRAM channel.
+type dramAdaptor struct {
+	ch *dram.Channel
+	// cycle is refreshed each tick so Accept* can timestamp.
+	cycle uint64
+}
+
+func (d *dramAdaptor) AcceptRead(r *cache.Req, cycle uint64) bool {
+	onDone := r.OnDone
+	return d.ch.EnqueueRead(&dram.Request{
+		LineAddr:   r.LineAddr,
+		IsPrefetch: r.IsPrefetch,
+		OnComplete: onDone,
+	}, cycle)
+}
+
+func (d *dramAdaptor) AcceptWrite(r *cache.Req, cycle uint64) bool {
+	return d.ch.EnqueueWrite(&dram.Request{
+		LineAddr: r.LineAddr,
+		Write:    true,
+	}, cycle)
+}
+
+// Promote implements cache.Lower.
+func (d *dramAdaptor) Promote(lineAddr uint64) { d.ch.Promote(lineAddr) }
+
+// stlbXlat adapts the MMU's prefetch translation path to cache.Translator.
+type stlbXlat struct{ mmu *vm.MMU }
+
+func (x stlbXlat) TranslatePrefetchLine(vline uint64) (uint64, uint64, bool) {
+	vaddr := vline << cache.LineShift
+	paddr, lat, ok := x.mmu.TranslatePrefetch(vaddr)
+	if !ok {
+		return 0, 0, false
+	}
+	return paddr >> cache.LineShift, lat, true
+}
+
+// CoreResult holds one core's measured statistics.
+type CoreResult struct {
+	Core stats.CoreStats
+	TLB  stats.TLBStats
+	L1D  stats.CacheStats
+	L2   stats.CacheStats
+	// Traffic sent downward by this core's private levels.
+	L1DToL2 uint64
+	WBToL2  uint64
+	L2ToLLC uint64
+	WBToLLC uint64
+	// IPC over the measured region.
+	IPC float64
+}
+
+// Result holds a full simulation's statistics.
+type Result struct {
+	Config    Config
+	Cores     []CoreResult
+	LLC       stats.CacheStats
+	LLCToDRAM uint64
+	WBToDRAM  uint64
+	DRAM      stats.DRAMStats
+	Cycles    uint64
+	L1DPfName string
+	L2PfName  string
+	L1DPfBits int
+	L2PfBits  int
+}
+
+// IPC returns core 0's IPC (single-core convenience).
+func (r *Result) IPC() float64 { return r.Cores[0].IPC }
+
+// Traffic aggregates inter-level DATA transfers across cores: lines filled
+// into the upper level (each fill is one line crossing the boundary) plus
+// writebacks travelling down. Request/command traffic is not counted — a
+// prefetch request that gets dropped as a duplicate moves no data.
+func (r *Result) Traffic() stats.Traffic {
+	var t stats.Traffic
+	for i := range r.Cores {
+		t.L1DToL2 += r.Cores[i].L1D.TotalFills
+		t.WBToL2 += r.Cores[i].WBToL2
+		t.L2ToLLC += r.Cores[i].L2.TotalFills
+		t.WBToLLC += r.Cores[i].WBToLLC
+	}
+	t.LLCToDRAM = r.LLC.TotalFills
+	t.WBToDRAM = r.WBToDRAM
+	return t
+}
+
+// Machine is a fully-wired simulated system.
+type Machine struct {
+	cfg   Config
+	cores []*Core
+	mmus  []*vm.MMU
+	l1ds  []*cache.Cache
+	l2s   []*cache.Cache
+	llc   *cache.Cache
+	dramC *dram.Channel
+	cycle uint64
+}
+
+// New builds a machine: per-core L1D+L2 (private), a shared LLC sized
+// 2 MB/core, and one DRAM channel. traces supplies one reader per core.
+// l1dPf/l2Pf are per-level prefetcher factories (nil = none).
+func New(cfg Config, traces []trace.Reader, l1dPf, l2Pf PrefetcherFactory) *Machine {
+	if len(traces) != cfg.Cores {
+		panic(fmt.Sprintf("sim: %d traces for %d cores", len(traces), cfg.Cores))
+	}
+	m := &Machine{cfg: cfg}
+	m.dramC = dram.NewChannel(cfg.DRAM)
+	da := &dramAdaptor{ch: m.dramC}
+
+	llcCfg := cfg.LLC
+	llcCfg.SizeBytes *= cfg.Cores
+	llcCfg.MSHRs *= cfg.Cores
+	llcCfg.RQSize *= cfg.Cores
+	llcCfg.WQSize *= cfg.Cores
+	llcCfg.PQSize *= cfg.Cores
+	m.llc = cache.New(llcCfg, da)
+
+	for i := 0; i < cfg.Cores; i++ {
+		mmu := vm.NewMMU(cfg.MMU, uint64(i)+1)
+		l2cfg := cfg.L2
+		l2cfg.Name = fmt.Sprintf("L2.%d", i)
+		l2 := cache.New(l2cfg, m.llc)
+		l1cfg := cfg.L1D
+		l1cfg.Name = fmt.Sprintf("L1D.%d", i)
+		l1 := cache.New(l1cfg, l2)
+		l1.SetTranslator(stlbXlat{mmu: mmu})
+		if l1dPf != nil {
+			l1.SetPrefetcher(l1dPf())
+		}
+		if l2Pf != nil {
+			l2.SetPrefetcher(l2Pf())
+		}
+		core := NewCore(i, cfg.Core, traces[i], mmu, l1)
+		m.mmus = append(m.mmus, mmu)
+		m.l1ds = append(m.l1ds, l1)
+		m.l2s = append(m.l2s, l2)
+		m.cores = append(m.cores, core)
+	}
+	return m
+}
+
+// L1D returns core i's L1D (harness introspection).
+func (m *Machine) L1D(i int) *cache.Cache { return m.l1ds[i] }
+
+// Core returns core i.
+func (m *Machine) CoreAt(i int) *Core { return m.cores[i] }
+
+// tick advances the whole machine one cycle, bottom-up.
+func (m *Machine) tick() {
+	m.dramC.Tick(m.cycle)
+	m.llc.Tick(m.cycle)
+	for i := range m.l2s {
+		m.l2s[i].Tick(m.cycle)
+	}
+	for i := range m.l1ds {
+		m.l1ds[i].Tick(m.cycle)
+	}
+	for i := range m.cores {
+		m.cores[i].Tick(m.cycle)
+	}
+	m.cycle++
+}
+
+// Run executes warmup then measurement and returns the collected result.
+// Each core is measured over cfg.SimInstructions retired after warmup;
+// cores that finish early keep executing (their trace readers loop in
+// multi-core mixes) so contention persists until all cores finish.
+func (m *Machine) Run() *Result {
+	cfg := m.cfg
+	// Warmup phase.
+	if cfg.WarmupInstructions > 0 {
+		m.runUntil(func() bool {
+			for _, c := range m.cores {
+				if c.RetiredTotal < cfg.WarmupInstructions && !c.Done() {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	// Reset measured statistics; cache/TLB/predictor state persists.
+	warmupEnd := m.cycle
+	for i, c := range m.cores {
+		c.ResetStats()
+		c.SetFinishTarget(c.RetiredTotal + cfg.SimInstructions)
+		c.Finished = false
+		m.l1ds[i].ResetStats()
+		m.l2s[i].ResetStats()
+		m.mmus[i].Stats = stats.TLBStats{}
+	}
+	m.llc.ResetStats()
+	m.dramC.Stats = stats.DRAMStats{}
+
+	// Measurement phase.
+	m.runUntil(func() bool {
+		for _, c := range m.cores {
+			if !c.Finished && !c.Done() {
+				return false
+			}
+		}
+		return true
+	})
+
+	res := &Result{Config: cfg, Cycles: m.cycle - warmupEnd}
+	for i, c := range m.cores {
+		finish := c.FinishedCycle
+		if finish == 0 {
+			finish = m.cycle
+		}
+		cycles := finish - warmupEnd
+		ipc := 0.0
+		if cycles > 0 {
+			ipc = float64(cfg.SimInstructions) / float64(cycles)
+		}
+		res.Cores = append(res.Cores, CoreResult{
+			Core:    c.Stats,
+			TLB:     m.mmus[i].Stats,
+			L1D:     m.l1ds[i].Stats,
+			L2:      m.l2s[i].Stats,
+			L1DToL2: m.l1ds[i].TrafficDown,
+			WBToL2:  m.l1ds[i].WBDown,
+			L2ToLLC: m.l2s[i].TrafficDown,
+			WBToLLC: m.l2s[i].WBDown,
+			IPC:     ipc,
+		})
+	}
+	res.LLC = m.llc.Stats
+	res.LLCToDRAM = m.llc.TrafficDown
+	res.WBToDRAM = m.llc.WBDown
+	res.DRAM = m.dramC.Stats
+	if pf := m.l1ds[0].Prefetcher(); pf != nil {
+		res.L1DPfName = pf.Name()
+		res.L1DPfBits = pf.StorageBits()
+	}
+	if pf := m.l2s[0].Prefetcher(); pf != nil {
+		res.L2PfName = pf.Name()
+		res.L2PfBits = pf.StorageBits()
+	}
+	return res
+}
+
+// runUntil ticks the machine until cond holds, with a progress watchdog.
+func (m *Machine) runUntil(cond func() bool) {
+	lastProgress := m.cycle
+	var lastRetired uint64
+	for !cond() {
+		m.tick()
+		var retired uint64
+		for _, c := range m.cores {
+			retired += c.RetiredTotal
+		}
+		if retired != lastRetired {
+			lastRetired = retired
+			lastProgress = m.cycle
+		} else if m.cycle-lastProgress > 2_000_000 {
+			panic(fmt.Sprintf("sim: no retirement progress for 2M cycles at cycle %d (retired=%d)",
+				m.cycle, retired))
+		}
+	}
+}
+
+// RunOnce is a convenience: build a single-core machine over tr and run it.
+func RunOnce(cfg Config, tr *trace.Slice, l1dPf, l2Pf PrefetcherFactory) *Result {
+	cfg.Cores = 1
+	m := New(cfg, []trace.Reader{trace.NewSliceReader(tr)}, l1dPf, l2Pf)
+	return m.Run()
+}
+
+// L2RQRejects exposes core i's L2 read-queue rejections (diagnostics).
+func (m *Machine) L2RQRejects(i int) uint64 { return m.l2s[i].RQRejects }
+
+// LLCRQRejects exposes the LLC's read-queue rejections (diagnostics).
+func (m *Machine) LLCRQRejects() uint64 { return m.llc.RQRejects }

@@ -1,0 +1,24 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/bertisim/berti/internal/cache"
+	"github.com/bertisim/berti/internal/core"
+	"github.com/bertisim/berti/internal/trace"
+	"github.com/bertisim/berti/internal/workloads"
+	_ "github.com/bertisim/berti/internal/workloads/speclike"
+)
+
+func BenchmarkProfileSim(b *testing.B) {
+	w, _ := workloads.ByName("mcf_like_1554")
+	tr := w.Gen(workloads.GenConfig{MemRecords: 100_000, Seed: 1})
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.WarmupInstructions = 50_000
+		cfg.SimInstructions = 200_000
+		m := New(cfg, []trace.Reader{trace.NewLoopReader(tr)},
+			func() cache.Prefetcher { return core.New(core.DefaultConfig()) }, nil)
+		m.Run()
+	}
+}

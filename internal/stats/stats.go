@@ -1,0 +1,157 @@
+// Package stats collects the counters the evaluation reports: per-level
+// demand/prefetch activity, MPKI, prefetch accuracy and timeliness, and
+// inter-level traffic.
+package stats
+
+import "fmt"
+
+// CacheStats holds the counters tracked for one cache level.
+type CacheStats struct {
+	Name string
+
+	// Demand activity.
+	DemandAccesses uint64
+	DemandHits     uint64
+	DemandMisses   uint64
+
+	// Prefetch activity.
+	PrefIssued   uint64 // prefetch requests accepted into the PQ
+	PrefDropped  uint64 // dropped: PQ full, translation miss, or duplicate
+	PrefFills    uint64 // lines installed into this level by prefetch
+	PrefUseful   uint64 // prefetched lines demanded after arrival (timely)
+	PrefLate     uint64 // demand merged into an in-flight prefetch MSHR
+	PrefUseless  uint64 // prefetched lines evicted without a demand touch
+	PrefCrossPg  uint64 // prefetches whose target crossed the triggering page
+	PrefTagProbe uint64 // tag lookups performed on behalf of prefetches
+
+	// Writebacks received from the level above / sent below.
+	WritebacksIn  uint64
+	WritebacksOut uint64
+
+	// Fills of any kind (used by the artifact accuracy formula).
+	TotalFills uint64
+
+	// MSHR behaviour.
+	MSHRMerges     uint64
+	MSHRFullStalls uint64
+
+	// Latency accounting (demand-miss fill latency in cycles).
+	FillLatencySum   uint64
+	FillLatencyCount uint64
+	FillLatencyMin   uint64
+	FillLatencyMax   uint64
+}
+
+// RecordFillLatency folds one measured fill latency into the distribution.
+func (s *CacheStats) RecordFillLatency(lat uint64) {
+	s.FillLatencySum += lat
+	s.FillLatencyCount++
+	if s.FillLatencyMin == 0 || lat < s.FillLatencyMin {
+		s.FillLatencyMin = lat
+	}
+	if lat > s.FillLatencyMax {
+		s.FillLatencyMax = lat
+	}
+}
+
+// AvgFillLatency returns the mean demand fill latency in cycles.
+func (s *CacheStats) AvgFillLatency() float64 {
+	if s.FillLatencyCount == 0 {
+		return 0
+	}
+	return float64(s.FillLatencySum) / float64(s.FillLatencyCount)
+}
+
+// MPKI returns demand misses per kilo-instruction.
+func (s *CacheStats) MPKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.DemandMisses) / float64(instructions) * 1000
+}
+
+// Accuracy returns the artifact's L1D accuracy formula:
+// (late + timely useful prefetches) / prefetch fills. It measures the
+// fraction of prefetch-brought lines that were not useless traffic.
+func (s *CacheStats) Accuracy() float64 {
+	if s.PrefFills == 0 {
+		return 0
+	}
+	acc := float64(s.PrefUseful+s.PrefLate) / float64(s.PrefFills)
+	if acc > 1 {
+		acc = 1
+	}
+	return acc
+}
+
+// TimelyFraction returns the fraction of useful prefetches that arrived
+// before the demand access (the paper's gray vs. black bars in Fig. 10).
+func (s *CacheStats) TimelyFraction() float64 {
+	useful := s.PrefUseful + s.PrefLate
+	if useful == 0 {
+		return 0
+	}
+	return float64(s.PrefUseful) / float64(useful)
+}
+
+func (s *CacheStats) String() string {
+	return fmt.Sprintf("%s: acc=%d hit=%d miss=%d pfIssued=%d pfFill=%d pfUseful=%d pfLate=%d",
+		s.Name, s.DemandAccesses, s.DemandHits, s.DemandMisses,
+		s.PrefIssued, s.PrefFills, s.PrefUseful, s.PrefLate)
+}
+
+// DRAMStats counts DRAM activity.
+type DRAMStats struct {
+	Reads        uint64
+	Writes       uint64
+	RowHits      uint64
+	RowMisses    uint64
+	RowConflicts uint64
+	RQFullStalls uint64
+	WQFullStalls uint64
+	BusyCycles   uint64
+}
+
+// TLBStats counts translation activity.
+type TLBStats struct {
+	DTLBAccesses uint64
+	DTLBMisses   uint64
+	STLBAccesses uint64
+	STLBMisses   uint64
+	PageWalks    uint64
+	PrefDropTLB  uint64 // prefetches dropped on STLB miss
+}
+
+// CoreStats counts core-side progress.
+type CoreStats struct {
+	Instructions  uint64
+	Cycles        uint64
+	Loads         uint64
+	Stores        uint64
+	ROBFullStalls uint64
+}
+
+// IPC returns instructions per cycle.
+func (c *CoreStats) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// Traffic counts line transfers between adjacent levels (demand + prefetch +
+// writeback), the quantity Fig. 14 plots.
+type Traffic struct {
+	L1DToL2   uint64 // requests sent from L1D to L2 (misses + prefetches)
+	L2ToLLC   uint64
+	LLCToDRAM uint64
+	// Writeback traffic travelling downward.
+	WBToL2   uint64
+	WBToLLC  uint64
+	WBToDRAM uint64
+}
+
+// Total returns total transfers at each boundary including writebacks.
+func (t *Traffic) Total() (l2, llc, dram uint64) {
+	return t.L1DToL2 + t.WBToL2, t.L2ToLLC + t.WBToLLC, t.LLCToDRAM + t.WBToDRAM
+}

@@ -1,0 +1,69 @@
+package stats
+
+import "testing"
+
+func TestAccuracyFormula(t *testing.T) {
+	s := CacheStats{PrefFills: 100, PrefUseful: 70, PrefLate: 20}
+	if got := s.Accuracy(); got != 0.9 {
+		t.Fatalf("accuracy = %f, want 0.9", got)
+	}
+	empty := CacheStats{}
+	if empty.Accuracy() != 0 {
+		t.Fatal("accuracy of no fills must be 0")
+	}
+	capped := CacheStats{PrefFills: 10, PrefUseful: 20}
+	if capped.Accuracy() != 1 {
+		t.Fatal("accuracy must cap at 1")
+	}
+}
+
+func TestTimelyFraction(t *testing.T) {
+	s := CacheStats{PrefUseful: 30, PrefLate: 10}
+	if got := s.TimelyFraction(); got != 0.75 {
+		t.Fatalf("timely = %f", got)
+	}
+	if (&CacheStats{}).TimelyFraction() != 0 {
+		t.Fatal("no useful prefetches -> 0")
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	s := CacheStats{DemandMisses: 50}
+	if got := s.MPKI(1000); got != 50 {
+		t.Fatalf("mpki = %f", got)
+	}
+	if s.MPKI(0) != 0 {
+		t.Fatal("zero instructions must not divide")
+	}
+}
+
+func TestFillLatencyDistribution(t *testing.T) {
+	var s CacheStats
+	for _, l := range []uint64{100, 200, 300} {
+		s.RecordFillLatency(l)
+	}
+	if s.FillLatencyMin != 100 || s.FillLatencyMax != 300 {
+		t.Fatalf("min/max wrong: %d/%d", s.FillLatencyMin, s.FillLatencyMax)
+	}
+	if s.AvgFillLatency() != 200 {
+		t.Fatalf("avg = %f", s.AvgFillLatency())
+	}
+}
+
+func TestTrafficTotal(t *testing.T) {
+	tr := Traffic{L1DToL2: 10, WBToL2: 5, L2ToLLC: 8, WBToLLC: 2, LLCToDRAM: 6, WBToDRAM: 1}
+	l2, llc, dram := tr.Total()
+	if l2 != 15 || llc != 10 || dram != 7 {
+		t.Fatalf("totals: %d %d %d", l2, llc, dram)
+	}
+}
+
+func TestCoreIPC(t *testing.T) {
+	c := CoreStats{Instructions: 400, Cycles: 200}
+	if c.IPC() != 2 {
+		t.Fatalf("ipc = %f", c.IPC())
+	}
+	if (&CoreStats{}).IPC() != 0 {
+		t.Fatal("zero cycles must not divide")
+	}
+}

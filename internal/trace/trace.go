@@ -1,0 +1,258 @@
+// Package trace defines the memory-access trace format consumed by the
+// simulator and produced by the workload generators.
+//
+// A trace is a sequence of Records. Each record describes one memory
+// instruction: its instruction pointer, the virtual address it touches,
+// whether it is a load or a store, and the number of non-memory
+// instructions that execute before it (so instruction counts and IPC are
+// well defined without storing every ALU op).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind distinguishes loads from stores.
+type Kind uint8
+
+const (
+	// Load is a demand read.
+	Load Kind = iota
+	// Store is a demand write.
+	Store
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Record is one memory instruction in a trace.
+type Record struct {
+	// IP is the virtual address of the instruction itself.
+	IP uint64
+	// Addr is the virtual byte address accessed.
+	Addr uint64
+	// Kind is Load or Store.
+	Kind Kind
+	// NonMemBefore is the number of non-memory instructions that retire
+	// between the previous memory instruction and this one.
+	NonMemBefore uint32
+	// DepDist is the data-dependence distance: 0 means the access address
+	// does not depend on an earlier load's value; k > 0 means the address
+	// was computed from the value returned by the k-th previous memory
+	// record (pointer chasing). The simulator delays issue of dependent
+	// accesses until the producer load completes.
+	DepDist uint8
+}
+
+// Reader yields trace records in program order.
+type Reader interface {
+	// Next returns the next record. It returns io.EOF when the trace is
+	// exhausted and the reader may not be used afterwards.
+	Next() (Record, error)
+}
+
+// Writer consumes trace records.
+type Writer interface {
+	Append(Record)
+}
+
+// Slice is an in-memory trace. It implements Writer; use NewSliceReader to
+// iterate it.
+type Slice struct {
+	Records []Record
+}
+
+// Append implements Writer.
+func (s *Slice) Append(r Record) { s.Records = append(s.Records, r) }
+
+// Len returns the number of records.
+func (s *Slice) Len() int { return len(s.Records) }
+
+// Instructions returns the total instruction count represented by the trace
+// (memory instructions plus the non-memory instructions between them).
+func (s *Slice) Instructions() uint64 {
+	var n uint64
+	for i := range s.Records {
+		n += uint64(s.Records[i].NonMemBefore) + 1
+	}
+	return n
+}
+
+// SliceReader iterates over a Slice.
+type SliceReader struct {
+	records []Record
+	pos     int
+}
+
+// NewSliceReader returns a Reader over s. The slice must not be mutated
+// while the reader is in use.
+func NewSliceReader(s *Slice) *SliceReader {
+	return &SliceReader{records: s.Records}
+}
+
+// Next implements Reader.
+func (r *SliceReader) Next() (Record, error) {
+	if r.pos >= len(r.records) {
+		return Record{}, io.EOF
+	}
+	rec := r.records[r.pos]
+	r.pos++
+	return rec, nil
+}
+
+// Reset rewinds the reader to the beginning of the trace.
+func (r *SliceReader) Reset() { r.pos = 0 }
+
+// LoopReader replays an underlying slice forever (used for multi-core mixes
+// where finished cores replay until all cores complete). It never returns
+// io.EOF unless the slice is empty.
+type LoopReader struct {
+	records []Record
+	pos     int
+	// Loops counts how many times the trace has wrapped.
+	Loops int
+}
+
+// NewLoopReader returns a looping reader over s.
+func NewLoopReader(s *Slice) *LoopReader {
+	return &LoopReader{records: s.Records}
+}
+
+// Next implements Reader.
+func (r *LoopReader) Next() (Record, error) {
+	if len(r.records) == 0 {
+		return Record{}, io.EOF
+	}
+	if r.pos >= len(r.records) {
+		r.pos = 0
+		r.Loops++
+	}
+	rec := r.records[r.pos]
+	r.pos++
+	return rec, nil
+}
+
+// Binary trace encoding: a small magic header followed by varint-delta
+// encoded records. IPs and addresses are delta-encoded against the previous
+// record to keep files compact.
+
+var magic = [8]byte{'B', 'E', 'R', 'T', 'I', 'T', 'R', '1'}
+
+// ErrBadMagic is returned when decoding a stream that is not a trace.
+var ErrBadMagic = errors.New("trace: bad magic header")
+
+// Encode writes the trace to w in the binary format.
+func Encode(w io.Writer, s *Slice) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(s.Records))); err != nil {
+		return err
+	}
+	var prevIP, prevAddr uint64
+	for i := range s.Records {
+		r := &s.Records[i]
+		if err := putVarint(int64(r.IP - prevIP)); err != nil {
+			return err
+		}
+		if err := putVarint(int64(r.Addr - prevAddr)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(r.Kind)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(r.NonMemBefore)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(r.DepDist); err != nil {
+			return err
+		}
+		prevIP, prevAddr = r.IP, r.Addr
+	}
+	return bw.Flush()
+}
+
+// Decode reads a binary trace written by Encode.
+func Decode(r io.Reader) (*Slice, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr != magic {
+		return nil, ErrBadMagic
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	const maxRecords = 1 << 31
+	if n > maxRecords {
+		return nil, fmt.Errorf("trace: record count %d exceeds limit", n)
+	}
+	s := &Slice{Records: make([]Record, 0, n)}
+	var prevIP, prevAddr uint64
+	for i := uint64(0); i < n; i++ {
+		dip, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d ip: %w", i, err)
+		}
+		daddr, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d addr: %w", i, err)
+		}
+		kindByte, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d kind: %w", i, err)
+		}
+		if kindByte > uint8(Store) {
+			return nil, fmt.Errorf("trace: record %d invalid kind %d", i, kindByte)
+		}
+		nonMem, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d nonmem: %w", i, err)
+		}
+		if nonMem > 1<<32-1 {
+			return nil, fmt.Errorf("trace: record %d nonmem %d overflows", i, nonMem)
+		}
+		depDist, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d depdist: %w", i, err)
+		}
+		prevIP += uint64(dip)
+		prevAddr += uint64(daddr)
+		s.Records = append(s.Records, Record{
+			IP:           prevIP,
+			Addr:         prevAddr,
+			Kind:         Kind(kindByte),
+			NonMemBefore: uint32(nonMem),
+			DepDist:      depDist,
+		})
+	}
+	return s, nil
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace(n int, seed int64) *Slice {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Slice{}
+	var ip, addr uint64 = 0x400000, 0x10000000
+	for i := 0; i < n; i++ {
+		ip += uint64(rng.Intn(64))
+		addr += uint64(rng.Int63n(1<<20)) - 1<<19
+		k := Load
+		if rng.Intn(4) == 0 {
+			k = Store
+		}
+		s.Append(Record{
+			IP: ip, Addr: addr, Kind: k,
+			NonMemBefore: uint32(rng.Intn(16)),
+			DepDist:      uint8(rng.Intn(8)),
+		})
+	}
+	return s
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	s := sampleTrace(5000, 1)
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(s.Records, got.Records) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestEncodeDecodeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, &Slice{}); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("expected empty, got %d", got.Len())
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("NOTATRACEFILE!!!"))); err != ErrBadMagic {
+		t.Fatalf("expected ErrBadMagic, got %v", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	s := sampleTrace(100, 2)
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Decode(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("expected error on truncated input")
+	}
+}
+
+// TestRoundtripProperty: any generated record sequence survives a
+// roundtrip (property-based via testing/quick).
+func TestRoundtripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		s := sampleTrace(int(n), seed)
+		var buf bytes.Buffer
+		if err := Encode(&buf, s); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if len(s.Records) == 0 {
+			return got.Len() == 0
+		}
+		return reflect.DeepEqual(s.Records, got.Records)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceReader(t *testing.T) {
+	s := sampleTrace(10, 3)
+	r := NewSliceReader(s)
+	for i := 0; i < 10; i++ {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec != s.Records[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+	r.Reset()
+	if rec, err := r.Next(); err != nil || rec != s.Records[0] {
+		t.Fatal("reset did not rewind")
+	}
+}
+
+func TestLoopReaderWraps(t *testing.T) {
+	s := sampleTrace(4, 4)
+	r := NewLoopReader(s)
+	for i := 0; i < 11; i++ {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("loop read %d: %v", i, err)
+		}
+		if rec != s.Records[i%4] {
+			t.Fatalf("loop read %d mismatch", i)
+		}
+	}
+	if r.Loops != 2 {
+		t.Fatalf("expected 2 wraps, got %d", r.Loops)
+	}
+}
+
+func TestLoopReaderEmpty(t *testing.T) {
+	r := NewLoopReader(&Slice{})
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF on empty loop reader, got %v", err)
+	}
+}
+
+func TestInstructionsCount(t *testing.T) {
+	s := &Slice{}
+	s.Append(Record{NonMemBefore: 3})
+	s.Append(Record{NonMemBefore: 0})
+	s.Append(Record{NonMemBefore: 7})
+	if got := s.Instructions(); got != 13 {
+		t.Fatalf("instructions = %d, want 13", got)
+	}
+}

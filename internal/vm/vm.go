@@ -1,0 +1,207 @@
+// Package vm models virtual memory: a first-touch page table, the L1 dTLB,
+// and the unified second-level TLB (STLB) with page-walk latency.
+//
+// The simulator trains the L1D prefetcher on virtual addresses (a key Berti
+// property that enables cross-page prefetching) and translates prefetch
+// requests through the STLB only, dropping them on an STLB miss, exactly as
+// the paper describes.
+package vm
+
+import (
+	"github.com/bertisim/berti/internal/stats"
+)
+
+// PageShift is log2 of the OS page size (4 KB pages).
+const PageShift = 12
+
+// PageSize is the OS page size in bytes.
+const PageSize = 1 << PageShift
+
+// PageTable maps virtual pages to physical frames, allocating frames on
+// first touch. Frame numbers are assigned by a deterministic multiplicative
+// hash so that physically-indexed cache levels observe page-grain
+// scrambling of the virtual layout, like a real OS allocator.
+type PageTable struct {
+	frames    map[uint64]uint64
+	nextFrame uint64
+	// seed differentiates address spaces of different cores in a mix.
+	seed uint64
+}
+
+// NewPageTable returns an empty page table. seed differentiates address
+// spaces (use the core ID for multi-core mixes).
+func NewPageTable(seed uint64) *PageTable {
+	return &PageTable{
+		frames: make(map[uint64]uint64),
+		seed:   seed,
+	}
+}
+
+// Translate returns the physical frame number for virtual page vpn,
+// allocating one if this is the first touch.
+func (pt *PageTable) Translate(vpn uint64) uint64 {
+	if f, ok := pt.frames[vpn]; ok {
+		return f
+	}
+	// Mix the allocation counter so consecutive virtual pages land on
+	// non-consecutive frames (breaks accidental physical streaming).
+	n := pt.nextFrame
+	pt.nextFrame++
+	f := (n*2654435761 + pt.seed*40503) & 0xFFFFFFF // 28-bit frame space
+	pt.frames[vpn] = f
+	return f
+}
+
+// Pages returns the number of distinct pages touched.
+func (pt *PageTable) Pages() int { return len(pt.frames) }
+
+// tlbEntry is one TLB entry.
+type tlbEntry struct {
+	vpn   uint64
+	pfn   uint64
+	valid bool
+	lru   uint64
+}
+
+// TLB is a set-associative translation buffer with LRU replacement.
+type TLB struct {
+	sets     int
+	ways     int
+	entries  []tlbEntry
+	lruClock uint64
+}
+
+// NewTLB returns a TLB with the given geometry. entries must be divisible
+// by ways.
+func NewTLB(entries, ways int) *TLB {
+	if entries%ways != 0 {
+		panic("vm: TLB entries not divisible by ways")
+	}
+	return &TLB{
+		sets:    entries / ways,
+		ways:    ways,
+		entries: make([]tlbEntry, entries),
+	}
+}
+
+func (t *TLB) set(vpn uint64) []tlbEntry {
+	s := int(vpn) & (t.sets - 1)
+	if t.sets&(t.sets-1) != 0 {
+		s = int(vpn % uint64(t.sets))
+	}
+	return t.entries[s*t.ways : (s+1)*t.ways]
+}
+
+// Lookup returns the cached translation for vpn.
+func (t *TLB) Lookup(vpn uint64) (pfn uint64, ok bool) {
+	set := t.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			t.lruClock++
+			set[i].lru = t.lruClock
+			return set[i].pfn, true
+		}
+	}
+	return 0, false
+}
+
+// Insert installs a translation, evicting the LRU way.
+func (t *TLB) Insert(vpn, pfn uint64) {
+	set := t.set(vpn)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	t.lruClock++
+	set[victim] = tlbEntry{vpn: vpn, pfn: pfn, valid: true, lru: t.lruClock}
+}
+
+// MMUConfig sets the translation-path latencies (cycles).
+type MMUConfig struct {
+	DTLBEntries int
+	DTLBWays    int
+	DTLBLatency uint64
+	STLBEntries int
+	STLBWays    int
+	STLBLatency uint64
+	// WalkLatency approximates a page walk that mostly hits the paging
+	// structure caches (PSCL2..PSCL5 searched in parallel, Table II).
+	WalkLatency uint64
+}
+
+// DefaultMMUConfig mirrors Table II: 64-entry 4-way dTLB (1 cycle),
+// 2048-entry 16-way STLB (8 cycles).
+func DefaultMMUConfig() MMUConfig {
+	return MMUConfig{
+		DTLBEntries: 64, DTLBWays: 4, DTLBLatency: 1,
+		STLBEntries: 2048, STLBWays: 16, STLBLatency: 8,
+		WalkLatency: 60,
+	}
+}
+
+// MMU combines the page table and the TLB hierarchy for one core.
+type MMU struct {
+	cfg   MMUConfig
+	pt    *PageTable
+	dtlb  *TLB
+	stlb  *TLB
+	Stats stats.TLBStats
+}
+
+// NewMMU builds the translation path for one core.
+func NewMMU(cfg MMUConfig, seed uint64) *MMU {
+	return &MMU{
+		cfg:  cfg,
+		pt:   NewPageTable(seed),
+		dtlb: NewTLB(cfg.DTLBEntries, cfg.DTLBWays),
+		stlb: NewTLB(cfg.STLBEntries, cfg.STLBWays),
+	}
+}
+
+// TranslateDemand translates a demand access's virtual address and returns
+// the physical address plus the translation latency in cycles. Demand
+// translations always succeed (walking the page table on STLB miss).
+func (m *MMU) TranslateDemand(vaddr uint64) (paddr uint64, latency uint64) {
+	vpn := vaddr >> PageShift
+	off := vaddr & (PageSize - 1)
+	m.Stats.DTLBAccesses++
+	if pfn, ok := m.dtlb.Lookup(vpn); ok {
+		return pfn<<PageShift | off, m.cfg.DTLBLatency
+	}
+	m.Stats.DTLBMisses++
+	m.Stats.STLBAccesses++
+	if pfn, ok := m.stlb.Lookup(vpn); ok {
+		m.dtlb.Insert(vpn, pfn)
+		return pfn<<PageShift | off, m.cfg.DTLBLatency + m.cfg.STLBLatency
+	}
+	m.Stats.STLBMisses++
+	m.Stats.PageWalks++
+	pfn := m.pt.Translate(vpn)
+	m.stlb.Insert(vpn, pfn)
+	m.dtlb.Insert(vpn, pfn)
+	return pfn<<PageShift | off, m.cfg.DTLBLatency + m.cfg.STLBLatency + m.cfg.WalkLatency
+}
+
+// TranslatePrefetch translates a prefetch target through the STLB only.
+// If the translation misses the STLB the prefetch must be dropped (ok is
+// false); prefetches never trigger page walks.
+func (m *MMU) TranslatePrefetch(vaddr uint64) (paddr uint64, latency uint64, ok bool) {
+	vpn := vaddr >> PageShift
+	off := vaddr & (PageSize - 1)
+	m.Stats.STLBAccesses++
+	if pfn, found := m.stlb.Lookup(vpn); found {
+		return pfn<<PageShift | off, m.cfg.STLBLatency, true
+	}
+	m.Stats.STLBMisses++
+	m.Stats.PrefDropTLB++
+	return 0, 0, false
+}
+
+// PageTable exposes the underlying page table (used by tests).
+func (m *MMU) PageTable() *PageTable { return m.pt }

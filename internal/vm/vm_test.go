@@ -1,0 +1,114 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageTableStable(t *testing.T) {
+	pt := NewPageTable(1)
+	f1 := pt.Translate(100)
+	f2 := pt.Translate(100)
+	if f1 != f2 {
+		t.Fatal("translation not stable across calls")
+	}
+}
+
+func TestPageTableDistinct(t *testing.T) {
+	pt := NewPageTable(1)
+	seen := map[uint64]uint64{}
+	for vpn := uint64(0); vpn < 10000; vpn++ {
+		f := pt.Translate(vpn)
+		if prev, dup := seen[f]; dup {
+			t.Fatalf("frame %d assigned to both vpn %d and %d", f, prev, vpn)
+		}
+		seen[f] = vpn
+	}
+	if pt.Pages() != 10000 {
+		t.Fatalf("pages = %d", pt.Pages())
+	}
+}
+
+func TestPageTableSeedsDiffer(t *testing.T) {
+	a := NewPageTable(1)
+	b := NewPageTable(2)
+	same := 0
+	for vpn := uint64(0); vpn < 100; vpn++ {
+		if a.Translate(vpn) == b.Translate(vpn) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical frame layouts")
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(16, 4)
+	if _, ok := tlb.Lookup(5); ok {
+		t.Fatal("hit on empty TLB")
+	}
+	tlb.Insert(5, 500)
+	if pfn, ok := tlb.Lookup(5); !ok || pfn != 500 {
+		t.Fatalf("lookup after insert: %d %v", pfn, ok)
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB(4, 4) // single set
+	for vpn := uint64(0); vpn < 4; vpn++ {
+		tlb.Insert(vpn*4, vpn) // same set (4 sets... with 4 ways 1 set)
+	}
+	// All four fit (one set of 4 ways with entries=4,ways=4 -> 1 set).
+	tlb.Lookup(0) // touch 0 so it is MRU
+	tlb.Insert(100, 99)
+	if _, ok := tlb.Lookup(0); !ok {
+		t.Fatal("MRU entry was evicted")
+	}
+}
+
+func TestMMUDemandAlwaysTranslates(t *testing.T) {
+	m := NewMMU(DefaultMMUConfig(), 1)
+	p1, lat1 := m.TranslateDemand(0x1234_5678)
+	if lat1 == 0 {
+		t.Fatal("first demand translation should cost a walk")
+	}
+	p2, lat2 := m.TranslateDemand(0x1234_5678)
+	if p1 != p2 {
+		t.Fatal("translation changed")
+	}
+	if lat2 >= lat1 {
+		t.Fatalf("second translation should be faster: %d vs %d", lat2, lat1)
+	}
+	if p1&0xFFF != 0x678 {
+		t.Fatalf("page offset not preserved: %x", p1)
+	}
+}
+
+func TestMMUPrefetchDropsOnSTLBMiss(t *testing.T) {
+	m := NewMMU(DefaultMMUConfig(), 1)
+	if _, _, ok := m.TranslatePrefetch(0x9999_0000); ok {
+		t.Fatal("prefetch to untouched page should drop (STLB miss)")
+	}
+	if m.Stats.PrefDropTLB != 1 {
+		t.Fatalf("PrefDropTLB = %d", m.Stats.PrefDropTLB)
+	}
+	// After a demand touch, the STLB holds the translation.
+	m.TranslateDemand(0x9999_0000)
+	if _, _, ok := m.TranslatePrefetch(0x9999_0040); !ok {
+		t.Fatal("prefetch within a demanded page should translate")
+	}
+}
+
+// Property: physical addresses preserve the page offset and are unique per
+// page.
+func TestTranslationOffsetProperty(t *testing.T) {
+	m := NewMMU(DefaultMMUConfig(), 7)
+	f := func(vaddr uint64) bool {
+		p, _ := m.TranslateDemand(vaddr)
+		return p&(PageSize-1) == vaddr&(PageSize-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package cloudlike generates CloudSuite-like traces. The paper's
+// CloudSuite findings (Section IV-G/H) rest on two properties this package
+// reproduces: (i) low data MPKI — most of the footprint fits on chip, so
+// even an ideal L1D prefetcher has little headroom — and (ii) temporal
+// correlation — repeated pointer sequences that only a temporal prefetcher
+// (MISB) can cover, not delta/spatial ones.
+package cloudlike
+
+import (
+	"github.com/bertisim/berti/internal/trace"
+	"github.com/bertisim/berti/internal/workloads"
+)
+
+func init() {
+	regs := []workloads.Workload{
+		{Name: "cassandra_like", Suite: "cloud", Gen: genCassandra},
+		{Name: "classification_like", Suite: "cloud", Gen: genClassification},
+		{Name: "cloud9_like", Suite: "cloud", Gen: genCloud9},
+		{Name: "nutch_like", Suite: "cloud", Gen: genNutch},
+	}
+	for _, w := range regs {
+		workloads.Register(w)
+	}
+}
+
+const lineBytes = 64
+
+// genCassandra models cassandra: a hot on-chip working set punctuated by
+// *recurring* pointer-walk sequences through cold SSTable-like structures.
+// The same walk sequences repeat, so address correlation (MISB) covers
+// them while delta prefetchers see noise.
+func genCassandra(cfg workloads.GenConfig) *trace.Slice {
+	e := workloads.NewEmitter(cfg)
+	hot := workloads.Base(1)
+	cold := workloads.Base(2)
+	// Build a fixed set of random walk sequences (temporal streams)
+	// through a large cold SSTable region: spatially random, temporally
+	// repeating — coverable only by address correlation (MISB).
+	// 768 x 16 lines = 786 KB of walk footprint: larger than the L2 (so
+	// repeats miss on chip) but well inside the LLC. Walk sequences
+	// repeat about 3x within a full-scale measurement window; at the
+	// quick scale there are not enough repeats for temporal prefetching
+	// to show (see EXPERIMENTS.md on Fig. 19 scaling).
+	const nSeqs = 768
+	const seqLen = 16
+	seqs := make([][]uint64, nSeqs)
+	for i := range seqs {
+		seqs[i] = make([]uint64, seqLen)
+		for j := range seqs[i] {
+			seqs[i][j] = cold + uint64(e.Rng.Intn(1<<21))*lineBytes
+		}
+	}
+	for !e.Full() {
+		// Mostly hot hits (low data MPKI; CloudSuite is front-end bound).
+		for k := 0; k < 80 && !e.Full(); k++ {
+			addr := hot + uint64(e.Rng.Intn(224))*lineBytes
+			e.Load(workloads.IP(300), addr, 6+e.Rng.Intn(5), 0)
+		}
+		// ...then replay one of the recorded pointer walks (one in four
+		// walks is fresh, uncorrelated work).
+		if e.Rng.Intn(4) == 0 {
+			for j := 0; j < seqLen && !e.Full(); j++ {
+				addr := cold + uint64(e.Rng.Intn(1<<21))*lineBytes
+				e.Load(workloads.IP(301), addr, 4+e.Rng.Intn(3), 1)
+			}
+			continue
+		}
+		seq := seqs[e.Rng.Intn(nSeqs)]
+		for _, addr := range seq {
+			if e.Full() {
+				break
+			}
+			e.Load(workloads.IP(301), addr, 4+e.Rng.Intn(3), 1)
+		}
+	}
+	return e.T
+}
+
+// genClassification models classification: bursts of short, accurate
+// per-IP strided scans over large feature vectors — the one CloudSuite
+// trace where an accurate delta prefetcher (Berti) wins while inaccurate
+// ones pollute the small useful working set.
+func genClassification(cfg workloads.GenConfig) *trace.Slice {
+	e := workloads.NewEmitter(cfg)
+	features := workloads.Base(1)
+	model := workloads.Base(2)
+	var cursor uint64
+	deltas := []uint64{1, 1, 2} // dense enough to bait stream sprayers
+	di := 0
+	for !e.Full() {
+		// Hot model state: hits; this small working set is what an
+		// inaccurate prefetcher pollutes.
+		for k := 0; k < 28 && !e.Full(); k++ {
+			addr := model + uint64(e.Rng.Intn(224))*lineBytes
+			e.Load(workloads.IP(310), addr, 5+e.Rng.Intn(4), 0)
+		}
+		// Feature-vector scan: repeating +1/+1/+2 line deltas. The
+		// period sum (+4) is a perfect local delta for Berti; the
+		// alternation defeats IP-stride, and the 75% region density
+		// baits global-stream classifiers into spraying.
+		for k := 0; k < 4 && !e.Full(); k++ {
+			e.Load(workloads.IP(311), features+cursor, 4, 0)
+			cursor = (cursor + deltas[di]*lineBytes) % (64 << 20)
+			di = (di + 1) % len(deltas)
+		}
+	}
+	return e.T
+}
+
+// genCloud9 models cloud9: dominated by instruction-side behaviour the
+// simulator does not model; the data side is a hot working set with rare,
+// unpredictable misses — no prefetcher helps much (ideal-L1D headroom is
+// small, §IV-G).
+func genCloud9(cfg workloads.GenConfig) *trace.Slice {
+	e := workloads.NewEmitter(cfg)
+	hot := workloads.Base(1)
+	cold := workloads.Base(2)
+	for !e.Full() {
+		for k := 0; k < 40 && !e.Full(); k++ {
+			addr := hot + uint64(e.Rng.Intn(256))*lineBytes
+			e.Load(workloads.IP(320), addr, 6+e.Rng.Intn(5), 0)
+		}
+		// One unpredictable cold miss.
+		addr := cold + uint64(e.Rng.Intn(1<<21))*lineBytes
+		e.Load(workloads.IP(321), addr, 5, 1)
+	}
+	return e.T
+}
+
+// genNutch models nutch: like cloud9 with slightly more stores and a
+// modest repeated-sequence component.
+func genNutch(cfg workloads.GenConfig) *trace.Slice {
+	e := workloads.NewEmitter(cfg)
+	hot := workloads.Base(1)
+	cold := workloads.Base(2)
+	const nSeqs = 128
+	const seqLen = 10
+	seqs := make([][]uint64, nSeqs)
+	for i := range seqs {
+		seqs[i] = make([]uint64, seqLen)
+		for j := range seqs[i] {
+			seqs[i][j] = cold + uint64(e.Rng.Intn(1<<20))*lineBytes
+		}
+	}
+	for !e.Full() {
+		for k := 0; k < 36 && !e.Full(); k++ {
+			addr := hot + uint64(e.Rng.Intn(240))*lineBytes
+			if e.Rng.Intn(5) == 0 {
+				e.Store(workloads.IP(330), addr, 5+e.Rng.Intn(4), 0)
+			} else {
+				e.Load(workloads.IP(331), addr, 5+e.Rng.Intn(4), 0)
+			}
+		}
+		seq := seqs[e.Rng.Intn(nSeqs)]
+		for _, addr := range seq {
+			if e.Full() {
+				break
+			}
+			e.Load(workloads.IP(332), addr, 3, 1)
+		}
+	}
+	return e.T
+}

@@ -1,0 +1,87 @@
+package cloudlike
+
+import (
+	"testing"
+
+	"github.com/bertisim/berti/internal/workloads"
+)
+
+func TestLowUniqueLineRatio(t *testing.T) {
+	// Cloud traces are dominated by a hot working set: the ratio of
+	// distinct lines to accesses must be far lower than in the MemInt
+	// suites.
+	for _, name := range []string{"cloud9_like", "nutch_like", "cassandra_like"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		tr := w.Gen(workloads.GenConfig{MemRecords: 30000, Seed: 9})
+		lines := map[uint64]bool{}
+		for _, r := range tr.Records {
+			lines[r.Addr>>6] = true
+		}
+		ratio := float64(len(lines)) / float64(tr.Len())
+		if ratio > 0.4 {
+			t.Fatalf("%s touches too many distinct lines: %.2f", name, ratio)
+		}
+	}
+}
+
+func TestCassandraWalksRepeat(t *testing.T) {
+	w, _ := workloads.ByName("cassandra_like")
+	tr := w.Gen(workloads.GenConfig{MemRecords: 120000, Seed: 9})
+	walkIP := workloads.IP(301)
+	// Count repeated consecutive pairs among walk accesses: replayed
+	// sequences produce recurring (a,b) transitions.
+	type pair struct{ a, b uint64 }
+	pairs := map[pair]int{}
+	var prev uint64
+	havePrev := false
+	for _, r := range tr.Records {
+		if r.IP != walkIP {
+			havePrev = false
+			continue
+		}
+		if havePrev {
+			pairs[pair{prev, r.Addr}]++
+		}
+		prev = r.Addr
+		havePrev = true
+	}
+	repeated := 0
+	for _, n := range pairs {
+		if n >= 2 {
+			repeated++
+		}
+	}
+	if repeated < 100 {
+		t.Fatalf("cassandra walks should repeat (temporal correlation), repeated pairs = %d", repeated)
+	}
+}
+
+func TestClassificationHasStridedScan(t *testing.T) {
+	w, _ := workloads.ByName("classification_like")
+	tr := w.Gen(workloads.GenConfig{MemRecords: 30000, Seed: 9})
+	scanIP := workloads.IP(311)
+	var prev uint64
+	havePrev := false
+	strided := 0
+	total := 0
+	for _, r := range tr.Records {
+		if r.IP != scanIP {
+			havePrev = false
+			continue
+		}
+		if havePrev {
+			total++
+			if d := r.Addr - prev; d == 64 || d == 128 {
+				strided++
+			}
+		}
+		prev = r.Addr
+		havePrev = true
+	}
+	if total == 0 || float64(strided)/float64(total) < 0.8 {
+		t.Fatalf("classification scan should use +1/+1/+2 line deltas: %d/%d", strided, total)
+	}
+}

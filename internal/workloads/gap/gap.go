@@ -1,0 +1,389 @@
+package gap
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/bertisim/berti/internal/trace"
+	"github.com/bertisim/berti/internal/workloads"
+)
+
+func init() {
+	algos := []struct {
+		name string
+		run  func(*mem, *Graph)
+	}{
+		{"bfs", runBFS},
+		{"pr", runPR},
+		{"sssp", runSSSP},
+		{"cc", runCC},
+		{"bc", runBC},
+		{"tc", runTC},
+	}
+	graphs := []struct {
+		name  string
+		build func(seed int64) *Graph
+	}{
+		{"kron", func(seed int64) *Graph { return Kronecker(18, 16, seed) }},
+		{"urand", func(seed int64) *Graph { return Urand(18, 16, seed) }},
+	}
+	for _, a := range algos {
+		for _, g := range graphs {
+			a, g := a, g
+			workloads.Register(workloads.Workload{
+				Name:         fmt.Sprintf("%s-%s", a.name, g.name),
+				Suite:        "gap",
+				MemIntensive: true,
+				Gen: func(cfg workloads.GenConfig) *trace.Slice {
+					return generate(cfg, a.run, g.name, g.build)
+				},
+			})
+		}
+	}
+	// Road graphs for the traversal and component benchmarks (high
+	// diameter, low degree).
+	for _, a := range algos[:4] {
+		a := a
+		workloads.Register(workloads.Workload{
+			Name:         fmt.Sprintf("%s-road", a.name),
+			Suite:        "gap",
+			MemIntensive: true,
+			Gen: func(cfg workloads.GenConfig) *trace.Slice {
+				return generate(cfg, a.run, "road", func(seed int64) *Graph { return Road(18, seed) })
+			},
+		})
+	}
+}
+
+// graphCache memoizes built graphs (generation dominates trace cost).
+var (
+	graphMu    sync.Mutex
+	graphCache = map[string]*Graph{}
+)
+
+func cachedGraph(kind string, seed int64, build func(int64) *Graph) *Graph {
+	key := fmt.Sprintf("%s/%d", kind, seed)
+	graphMu.Lock()
+	defer graphMu.Unlock()
+	if g, ok := graphCache[key]; ok {
+		return g
+	}
+	g := build(seed)
+	graphCache[key] = g
+	return g
+}
+
+// mem models the benchmark's data layout and emits the address stream of
+// every CSR walk. Element sizes follow the GAP reference implementation
+// (4-byte vertex ids, 8-byte scores).
+type mem struct {
+	e *workloads.Emitter
+	g *Graph
+
+	offsetsBase uint64 // 4 B per vertex
+	edgesBase   uint64 // 4 B per edge
+	propBase    uint64 // 8 B per vertex (parent/dist/score)
+	prop2Base   uint64 // second property array
+	queueBase   uint64 // frontier/worklist
+	queuePos    uint64
+}
+
+// IP numbering: one per static access site.
+const (
+	ipFrontier = 200 + iota
+	ipOffsets
+	ipEdges
+	ipProp
+	ipPropStore
+	ipQueuePush
+	ipProp2
+	ipProp2Store
+	ipEdges2
+)
+
+func newMem(e *workloads.Emitter, g *Graph) *mem {
+	return &mem{
+		e: e, g: g,
+		offsetsBase: workloads.Base(1),
+		edgesBase:   workloads.Base(2),
+		propBase:    workloads.Base(3),
+		prop2Base:   workloads.Base(4),
+		queueBase:   workloads.Base(5),
+	}
+}
+
+func (m *mem) full() bool { return m.e.Full() }
+
+// loadOffsets models `lo, hi = offsets[u], offsets[u+1]` (one line touch
+// unless u straddles a line boundary).
+func (m *mem) loadOffsets(u int, nonMem int) {
+	m.e.Load(workloads.IP(ipOffsets), m.offsetsBase+uint64(u)*4, nonMem, 0)
+}
+
+// loadEdge models `v = edges[i]` — the regular streaming IP.
+func (m *mem) loadEdge(i uint32) {
+	m.e.Load(workloads.IP(ipEdges), m.edgesBase+uint64(i)*4, 2, 0)
+}
+
+// loadEdge2 is a second edge-scan site (triangle counting's inner scan).
+func (m *mem) loadEdge2(i uint32) {
+	m.e.Load(workloads.IP(ipEdges2), m.edgesBase+uint64(i)*4, 1, 0)
+}
+
+// loadProp models `x = prop[v]` where v came from the previous edge load
+// (data-dependent: DepDist 1).
+func (m *mem) loadProp(v uint32) {
+	m.e.Load(workloads.IP(ipProp), m.propBase+uint64(v)*8, 3, 1)
+}
+
+func (m *mem) storeProp(v uint32) {
+	m.e.Store(workloads.IP(ipPropStore), m.propBase+uint64(v)*8, 0, 1)
+}
+
+func (m *mem) loadProp2(v uint32) {
+	m.e.Load(workloads.IP(ipProp2), m.prop2Base+uint64(v)*8, 1, 1)
+}
+
+func (m *mem) storeProp2(v uint32) {
+	m.e.Store(workloads.IP(ipProp2Store), m.prop2Base+uint64(v)*8, 0, 1)
+}
+
+// loadFrontier models popping the next vertex from the frontier queue.
+func (m *mem) loadFrontier() {
+	m.e.Load(workloads.IP(ipFrontier), m.queueBase+m.queuePos*4, 2, 0)
+	m.queuePos++
+}
+
+// pushQueue models appending to the next frontier.
+func (m *mem) pushQueue() {
+	m.e.Store(workloads.IP(ipQueuePush), m.queueBase+m.queuePos*4+1<<24, 0, 0)
+}
+
+// generate runs algo over the named graph until the record budget is hit,
+// restarting from fresh sources if the algorithm converges early.
+func generate(cfg workloads.GenConfig, algo func(*mem, *Graph), gname string,
+	build func(int64) *Graph) *trace.Slice {
+	g := cachedGraph(gname, 1, build) // one canonical graph per topology
+	e := workloads.NewEmitter(cfg)
+	m := newMem(e, g)
+	for !e.Full() {
+		algo(m, g)
+	}
+	return e.T
+}
+
+// runBFS is top-down breadth-first search.
+func runBFS(m *mem, g *Graph) {
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = -1
+	}
+	src := int(m.e.Rng.Intn(g.N))
+	parent[src] = int32(src)
+	frontier := []uint32{uint32(src)}
+	for len(frontier) > 0 && !m.full() {
+		var next []uint32
+		for _, u := range frontier {
+			if m.full() {
+				return
+			}
+			m.loadFrontier()
+			m.loadOffsets(int(u), 1)
+			for i := g.Offsets[u]; i < g.Offsets[u+1]; i++ {
+				v := g.Edges[i]
+				m.loadEdge(i)
+				m.loadProp(v) // parent[v] check
+				if parent[v] < 0 {
+					parent[v] = int32(u)
+					m.storeProp(v)
+					m.pushQueue()
+					next = append(next, v)
+				}
+				if m.full() {
+					return
+				}
+			}
+		}
+		frontier = next
+	}
+}
+
+// runPR is one-or-more pull-style PageRank iterations: the edge scan is
+// perfectly sequential while the contribution gathers are random — the
+// "one regular IP among chaotic ones" archetype of §IV-C (bc-5).
+func runPR(m *mem, g *Graph) {
+	for !m.full() {
+		for u := 0; u < g.N && !m.full(); u++ {
+			m.loadOffsets(u, 1)
+			for i := g.Offsets[u]; i < g.Offsets[u+1]; i++ {
+				v := g.Edges[i]
+				m.loadEdge(i)
+				m.loadProp(v) // contrib[v]
+				if m.full() {
+					return
+				}
+			}
+			m.storeProp2(uint32(u)) // rank[u] (sequential store)
+		}
+	}
+}
+
+// runSSSP is Bellman-Ford-style rounds over the full edge list.
+func runSSSP(m *mem, g *Graph) {
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = 1 << 30
+	}
+	src := int(m.e.Rng.Intn(g.N))
+	dist[src] = 0
+	for round := 0; round < 16 && !m.full(); round++ {
+		changed := false
+		for u := 0; u < g.N && !m.full(); u++ {
+			m.loadOffsets(u, 1)
+			du := dist[u]
+			if du == 1<<30 {
+				m.loadProp2(uint32(u))
+				continue
+			}
+			for i := g.Offsets[u]; i < g.Offsets[u+1]; i++ {
+				v := g.Edges[i]
+				m.loadEdge(i)
+				m.loadProp(v) // dist[v]
+				w := int32(1 + int(i%7))
+				if du+w < dist[v] {
+					dist[v] = du + w
+					m.storeProp(v)
+					changed = true
+				}
+				if m.full() {
+					return
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// runCC is label-propagation connected components.
+func runCC(m *mem, g *Graph) {
+	label := make([]uint32, g.N)
+	for i := range label {
+		label[i] = uint32(i)
+	}
+	for iter := 0; iter < 8 && !m.full(); iter++ {
+		changed := false
+		for u := 0; u < g.N && !m.full(); u++ {
+			m.loadOffsets(u, 1)
+			lu := label[u]
+			m.loadProp2(uint32(u))
+			for i := g.Offsets[u]; i < g.Offsets[u+1]; i++ {
+				v := g.Edges[i]
+				m.loadEdge(i)
+				m.loadProp(v)
+				if label[v] < lu {
+					lu = label[v]
+				}
+				if m.full() {
+					return
+				}
+			}
+			if lu != label[u] {
+				label[u] = lu
+				m.storeProp2(uint32(u))
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// runBC approximates Brandes betweenness centrality: a BFS pass followed by
+// a reverse dependency-accumulation pass over the visit order.
+func runBC(m *mem, g *Graph) {
+	depth := make([]int32, g.N)
+	for i := range depth {
+		depth[i] = -1
+	}
+	src := int(m.e.Rng.Intn(g.N))
+	depth[src] = 0
+	order := []uint32{uint32(src)}
+	frontier := []uint32{uint32(src)}
+	d := int32(0)
+	for len(frontier) > 0 && !m.full() {
+		d++
+		var next []uint32
+		for _, u := range frontier {
+			m.loadFrontier()
+			m.loadOffsets(int(u), 1)
+			for i := g.Offsets[u]; i < g.Offsets[u+1]; i++ {
+				v := g.Edges[i]
+				m.loadEdge(i)
+				m.loadProp(v) // depth[v]
+				if depth[v] < 0 {
+					depth[v] = d
+					m.storeProp(v)
+					next = append(next, v)
+					order = append(order, v)
+				}
+				if m.full() {
+					return
+				}
+			}
+		}
+		frontier = next
+	}
+	// Reverse pass: accumulate dependencies walking the order backwards.
+	for k := len(order) - 1; k >= 0 && !m.full(); k-- {
+		u := order[k]
+		m.loadFrontier() // visit-order array read (sequential backwards)
+		m.loadOffsets(int(u), 1)
+		for i := g.Offsets[u]; i < g.Offsets[u+1]; i++ {
+			v := g.Edges[i]
+			m.loadEdge(i)
+			m.loadProp2(v) // sigma/delta gather
+			if m.full() {
+				return
+			}
+		}
+		m.storeProp2(u)
+	}
+}
+
+// runTC counts triangles by sorted adjacency-list intersection: two
+// simultaneous sequential scans per vertex pair — very regular per-IP
+// streams with data-dependent advance.
+func runTC(m *mem, g *Graph) {
+	for u := 0; u < g.N && !m.full(); u++ {
+		m.loadOffsets(u, 1)
+		nu := g.Neighbors(u)
+		for idx, v := range nu {
+			if v <= uint32(u) {
+				continue
+			}
+			m.loadEdge(g.Offsets[u] + uint32(idx))
+			m.loadOffsets(int(v), 0)
+			nv := g.Neighbors(int(v))
+			i, j := 0, 0
+			for i < len(nu) && j < len(nv) {
+				m.loadEdge2(g.Offsets[u] + uint32(i))
+				m.loadEdge2(g.Offsets[v] + uint32(j))
+				switch {
+				case nu[i] < nv[j]:
+					i++
+				case nu[i] > nv[j]:
+					j++
+				default:
+					i++
+					j++
+				}
+				if m.full() {
+					return
+				}
+			}
+		}
+	}
+}

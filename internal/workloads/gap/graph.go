@@ -1,0 +1,153 @@
+// Package gap generates GAP benchmark suite-like traces by running real
+// graph algorithms (BFS, PageRank, SSSP, Connected Components, Betweenness
+// Centrality, Triangle Counting) over synthetic Kronecker (RMAT) and
+// uniform-random graphs, emitting the virtual-address stream of the CSR
+// data-structure walks each algorithm performs. The resulting traces carry
+// the same structure the paper's GAP analysis relies on: one or two very
+// regular streaming IPs (edge arrays) buried in per-vertex irregular
+// accesses (property arrays), with genuine data-dependent serialization.
+package gap
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Graph is an immutable CSR graph.
+type Graph struct {
+	N       int      // vertices
+	Offsets []uint32 // len N+1
+	Edges   []uint32 // len M
+}
+
+// Degree returns vertex v's out-degree.
+func (g *Graph) Degree(v int) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns v's adjacency slice.
+func (g *Graph) Neighbors(v int) []uint32 {
+	return g.Edges[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// BuildCSR constructs a CSR graph from an edge list, sorting adjacency
+// lists and removing duplicate edges (as the GAP reference builder does;
+// RMAT sampling produces many duplicates, especially on hub vertices).
+func BuildCSR(n int, edges [][2]uint32) *Graph {
+	deg := make([]uint32, n+1)
+	for _, e := range edges {
+		deg[e[0]+1]++
+	}
+	for i := 1; i <= n; i++ {
+		deg[i] += deg[i-1]
+	}
+	adj := make([]uint32, len(edges))
+	fill := make([]uint32, n)
+	for _, e := range edges {
+		adj[deg[e[0]]+fill[e[0]]] = e[1]
+		fill[e[0]]++
+	}
+	// Sort and dedup per vertex, then repack.
+	outOff := make([]uint32, n+1)
+	outAdj := make([]uint32, 0, len(adj))
+	for v := 0; v < n; v++ {
+		nb := adj[deg[v]:deg[v+1]]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		prevSet := false
+		var prev uint32
+		for _, u := range nb {
+			if prevSet && u == prev {
+				continue
+			}
+			outAdj = append(outAdj, u)
+			prev, prevSet = u, true
+		}
+		outOff[v+1] = uint32(len(outAdj))
+	}
+	return &Graph{N: n, Offsets: outOff, Edges: outAdj}
+}
+
+// Kronecker generates an RMAT graph with 2^scale vertices and
+// degree*2^scale directed edges (both directions added so traversals reach
+// most of the graph), using the GAP generator's a/b/c parameters.
+func Kronecker(scale, degree int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	m := n * degree / 2
+	edges := make([][2]uint32, 0, 2*m)
+	const a, b, c = 0.57, 0.19, 0.19
+	for i := 0; i < m; i++ {
+		var u, v int
+		for bit := scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// upper-left: nothing to set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		edges = append(edges, [2]uint32{uint32(u), uint32(v)}, [2]uint32{uint32(v), uint32(u)})
+	}
+	return BuildCSR(n, edges)
+}
+
+// Urand generates a uniform-random graph with 2^scale vertices and
+// degree*2^scale directed edges (symmetrized).
+func Urand(scale, degree int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	m := n * degree / 2
+	edges := make([][2]uint32, 0, 2*m)
+	for i := 0; i < m; i++ {
+		u := uint32(rng.Intn(n))
+		v := uint32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		edges = append(edges, [2]uint32{u, v}, [2]uint32{v, u})
+	}
+	return BuildCSR(n, edges)
+}
+
+// Road generates a road-network-like graph: a 2D grid with mostly local
+// connectivity plus sparse shortcuts (high diameter, degree ~4).
+func Road(scale int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	side := 1
+	for side*side < n {
+		side *= 2
+	}
+	n = side * side
+	edges := make([][2]uint32, 0, 5*n)
+	add := func(u, v int) {
+		if u != v && u >= 0 && v >= 0 && u < n && v < n {
+			edges = append(edges, [2]uint32{uint32(u), uint32(v)}, [2]uint32{uint32(v), uint32(u)})
+		}
+	}
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			u := y*side + x
+			if x+1 < side {
+				add(u, u+1)
+			}
+			if y+1 < side {
+				add(u, u+side)
+			}
+		}
+	}
+	// Sparse shortcuts (highways).
+	for i := 0; i < n/64; i++ {
+		add(rng.Intn(n), rng.Intn(n))
+	}
+	return BuildCSR(n, edges)
+}

@@ -1,0 +1,155 @@
+package speclike
+
+import (
+	"github.com/bertisim/berti/internal/trace"
+	"github.com/bertisim/berti/internal/workloads"
+)
+
+// Additional SPEC CPU2017-like kernels covering the remaining archetypes of
+// the memory-intensive subset: compression (xz), climate stencils
+// (cam4/pop2), molecular dynamics gathers (nab), and transposition-table
+// probing (deepsjeng).
+func init() {
+	regs := []workloads.Workload{
+		{Name: "xz_like", Suite: "spec", MemIntensive: true, Gen: genXZ},
+		{Name: "cam4_like", Suite: "spec", MemIntensive: true, Gen: genCam4},
+		{Name: "pop2_like", Suite: "spec", MemIntensive: true, Gen: genPop2},
+		{Name: "nab_like", Suite: "spec", MemIntensive: true, Gen: genNab},
+		{Name: "deepsjeng_like", Suite: "spec", MemIntensive: true, Gen: genDeepsjeng},
+	}
+	for _, w := range regs {
+		workloads.Register(w)
+	}
+}
+
+// genXZ models xz: a sequential input scan, hash-chain probes into a large
+// dictionary (dependent), and short match-copy bursts at the matched
+// positions — sequential and dependent-random interleaved.
+func genXZ(cfg workloads.GenConfig) *trace.Slice {
+	e := workloads.NewEmitter(cfg)
+	input := workloads.Base(1)
+	dict := workloads.Base(2)
+	var inCur uint64
+	const dictLines = 1 << 20 // 64 MB window
+	h := uint64(2166136261)
+	for !e.Full() {
+		// Scan 16 input bytes (sequential, mostly hits).
+		for k := 0; k < 2 && !e.Full(); k++ {
+			e.Load(workloads.IP(500), input+inCur, 2, 0)
+			inCur += 8
+		}
+		// Hash-chain probe: two dependent hops into the dictionary.
+		h = h*16777619 + inCur
+		slot := h % dictLines
+		e.Load(workloads.IP(501), dict+slot*lineBytes, 3, 0)
+		next := (h >> 7) % dictLines
+		e.Load(workloads.IP(502), dict+next*lineBytes, 2, 1)
+		// Match copy: short sequential burst at the match position.
+		if e.Rng.Intn(3) == 0 {
+			mbase := dict + next*lineBytes
+			for k := 1; k <= 3 && !e.Full(); k++ {
+				e.Load(workloads.IP(503), mbase+uint64(k)*lineBytes, 1, uint8(k+1))
+			}
+		}
+	}
+	return e.T
+}
+
+// genCam4 models cam4: many concurrent column streams with a medium stride
+// (physics columns), classic multi-stream stencil behaviour.
+func genCam4(cfg workloads.GenConfig) *trace.Slice {
+	e := workloads.NewEmitter(cfg)
+	var ws []*deltaWalker
+	for k := 0; k < 4; k++ {
+		w := &deltaWalker{
+			ip:   workloads.IP(510 + k),
+			base: workloads.Base(1 + k),
+			size: 64 << 20,
+			seq:  []int64{2, 2, 2, 10}, // column sweep, then level jump
+		}
+		w.cursor = w.base
+		ws = append(ws, w)
+	}
+	stCur := uint64(0)
+	for !e.Full() {
+		for _, w := range ws {
+			w.step(e, 3, 4, 0)
+		}
+		e.Store(workloads.IP(519), workloads.Base(7)+stCur, 3, 0)
+		stCur = (stCur + 2*lineBytes) % (64 << 20)
+	}
+	return e.T
+}
+
+// genPop2 models pop2: blocked ocean-grid sweeps — unit-stride runs with
+// periodic large jumps between blocks (cross-page regular deltas).
+func genPop2(cfg workloads.GenConfig) *trace.Slice {
+	e := workloads.NewEmitter(cfg)
+	w := &deltaWalker{ip: workloads.IP(520), base: workloads.Base(1), size: 96 << 20}
+	for i := 0; i < 15; i++ {
+		w.seq = append(w.seq, 1)
+	}
+	w.seq = append(w.seq, 113) // block jump crossing pages
+	w.cursor = w.base
+	w2 := &deltaWalker{ip: workloads.IP(521), base: workloads.Base(2), size: 96 << 20, seq: []int64{3}}
+	w2.cursor = w2.base
+	for !e.Full() {
+		w.step(e, 3, 4, 0)
+		w2.step(e, 3, 3, 0)
+	}
+	return e.T
+}
+
+// genNab models nab: molecular-dynamics force loops — a sequential atom
+// stream plus neighbor-list gathers that are indexed (semi-random within a
+// spatial region that drifts slowly).
+func genNab(cfg workloads.GenConfig) *trace.Slice {
+	e := workloads.NewEmitter(cfg)
+	atoms := workloads.Base(1)
+	neigh := workloads.Base(2)
+	var atomCur uint64
+	const regionLines = 1 << 14 // 1 MB neighborhood
+	var regionBase uint64
+	for !e.Full() {
+		// Current atom (sequential, 3 coordinates).
+		e.Load(workloads.IP(530), atoms+atomCur, 3, 0)
+		e.Load(workloads.IP(530), atoms+atomCur+8, 2, 0)
+		atomCur += 24
+		// Gather 6 neighbors from the drifting region.
+		for k := 0; k < 6 && !e.Full(); k++ {
+			off := uint64(e.Rng.Intn(regionLines))
+			e.Load(workloads.IP(531), neigh+(regionBase+off)*lineBytes, 3, 0)
+		}
+		if e.Rng.Intn(64) == 0 {
+			regionBase += regionLines / 8 // spatial cell advance
+		}
+	}
+	return e.T
+}
+
+// genDeepsjeng models deepsjeng: transposition-table probes — dependent
+// random accesses into a table far larger than the LLC, with a hot
+// evaluation working set in between. Prefetchers can do little; the paper
+// counts on accurate prefetchers at least not hurting.
+func genDeepsjeng(cfg workloads.GenConfig) *trace.Slice {
+	e := workloads.NewEmitter(cfg)
+	tt := workloads.Base(1)
+	hot := workloads.Base(2)
+	const ttLines = 1 << 21 // 128 MB table
+	h := uint64(88172645463325252)
+	for !e.Full() {
+		// Evaluation: hot hits.
+		for k := 0; k < 10 && !e.Full(); k++ {
+			addr := hot + uint64(e.Rng.Intn(448))*lineBytes
+			e.Load(workloads.IP(540), addr, 4+e.Rng.Intn(3), 0)
+		}
+		// Transposition probe: xorshift hash, dependent second line.
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+		slot := h % ttLines
+		e.Load(workloads.IP(541), tt+slot*lineBytes, 3, 0)
+		e.Load(workloads.IP(541), tt+slot*lineBytes+16, 1, 1)
+	}
+	return e.T
+}

@@ -1,0 +1,181 @@
+package speclike
+
+import (
+	"testing"
+
+	"github.com/bertisim/berti/internal/workloads"
+)
+
+func gen(t *testing.T, name string, n int) []recStat {
+	t.Helper()
+	w, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("missing %s", name)
+	}
+	tr := w.Gen(workloads.GenConfig{MemRecords: n, Seed: 3})
+	out := make([]recStat, len(tr.Records))
+	for i, r := range tr.Records {
+		out[i] = recStat{ip: r.IP, line: r.Addr >> 6, dep: r.DepDist}
+	}
+	return out
+}
+
+type recStat struct {
+	ip   uint64
+	line uint64
+	dep  uint8
+}
+
+// perIPDeltas extracts consecutive line deltas per IP.
+func perIPDeltas(recs []recStat) map[uint64][]int64 {
+	last := map[uint64]uint64{}
+	out := map[uint64][]int64{}
+	for _, r := range recs {
+		if prev, ok := last[r.ip]; ok {
+			out[r.ip] = append(out[r.ip], int64(r.line)-int64(prev))
+		}
+		last[r.ip] = r.line
+	}
+	return out
+}
+
+func TestMCFHasPerIPDeltaStructure(t *testing.T) {
+	recs := gen(t, "mcf_like_1554", 30000)
+	deltas := perIPDeltas(recs)
+	// Walker IP 1 (stride +3 lines per node, with same-line field reads):
+	// nonzero deltas must be overwhelmingly +3.
+	ds := deltas[workloads.IP(1)]
+	if len(ds) == 0 {
+		t.Fatal("walker IP missing")
+	}
+	nonzero, threes := 0, 0
+	for _, d := range ds {
+		if d != 0 {
+			nonzero++
+			if d == 3 {
+				threes++
+			}
+		}
+	}
+	if nonzero == 0 || float64(threes)/float64(nonzero) < 0.9 {
+		t.Fatalf("walker 1 deltas not +3 dominated: %d/%d", threes, nonzero)
+	}
+}
+
+func TestMCFChainsAreDependent(t *testing.T) {
+	recs := gen(t, "mcf_like_1554", 30000)
+	deps := 0
+	for _, r := range recs {
+		if r.dep > 0 {
+			deps++
+		}
+	}
+	if float64(deps)/float64(len(recs)) < 0.5 {
+		t.Fatalf("mcf should be chain-dominated, deps=%d/%d", deps, len(recs))
+	}
+}
+
+func TestLBMAlternatesStrides(t *testing.T) {
+	recs := gen(t, "lbm_like", 30000)
+	deltas := perIPDeltas(recs)
+	ds := deltas[workloads.IP(40)]
+	ones, twos, other := 0, 0, 0
+	for _, d := range ds {
+		switch d {
+		case 0:
+		case 1:
+			ones++
+		case 2:
+			twos++
+		default:
+			other++
+		}
+	}
+	if ones == 0 || twos == 0 || other > (ones+twos)/10 {
+		t.Fatalf("lbm IP should alternate +1/+2: ones=%d twos=%d other=%d", ones, twos, other)
+	}
+}
+
+func TestCactuHasManyIPs(t *testing.T) {
+	recs := gen(t, "cactu_like", 30000)
+	ips := map[uint64]bool{}
+	for _, r := range recs {
+		ips[r.ip] = true
+	}
+	if len(ips) < 200 {
+		t.Fatalf("cactu needs hundreds of IPs, got %d", len(ips))
+	}
+}
+
+func TestCactuGlobalSweepIsDense(t *testing.T) {
+	recs := gen(t, "cactu_like", 60000)
+	// Page-level density: within touched 4 KB pages of the first grid,
+	// most lines should eventually be touched.
+	pages := map[uint64]map[uint64]bool{}
+	for _, r := range recs {
+		page := r.line >> 6
+		if pages[page] == nil {
+			pages[page] = map[uint64]bool{}
+		}
+		pages[page][r.line&63] = true
+	}
+	dense := 0
+	for _, lines := range pages {
+		if len(lines) > 48 {
+			dense++
+		}
+	}
+	if dense < 3 {
+		t.Fatalf("cactu sweep should fill pages densely, dense pages = %d", dense)
+	}
+}
+
+func TestRomsStreamsSequentially(t *testing.T) {
+	recs := gen(t, "roms_like", 20000)
+	deltas := perIPDeltas(recs)
+	ds := deltas[workloads.IP(60)]
+	bad := 0
+	for _, d := range ds {
+		if d != 0 && d != 1 {
+			bad++
+		}
+	}
+	if bad > len(ds)/20 {
+		t.Fatalf("roms stream not sequential: %d bad of %d", bad, len(ds))
+	}
+}
+
+func TestFotonikCrossesPages(t *testing.T) {
+	recs := gen(t, "fotonik_like", 20000)
+	// The +20-line stencil stride crosses a 4 KB page every few accesses,
+	// and the sweep revisits its pages (so the STLB can translate
+	// cross-page prefetch targets).
+	var pages []uint64
+	for _, r := range recs {
+		if r.ip == workloads.IP(80) {
+			pages = append(pages, r.line>>6)
+		}
+	}
+	crossings := 0
+	seen := map[uint64]int{}
+	for i, p := range pages {
+		if i > 0 && p != pages[i-1] {
+			crossings++
+		}
+		seen[p]++
+	}
+	// Each node visit emits ~5 same-line records and the +20-line stride
+	// crosses a page boundary on ~31% of jumps, so ~6% of records cross.
+	if crossings < len(pages)/25 {
+		t.Fatalf("stencil should cross pages frequently: %d of %d", crossings, len(pages))
+	}
+	revisited := 0
+	for _, n := range seen {
+		if n > 6 {
+			revisited++
+		}
+	}
+	if revisited < len(seen)/2 {
+		t.Fatalf("sweep should revisit pages: %d of %d", revisited, len(seen))
+	}
+}

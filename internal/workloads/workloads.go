@@ -1,0 +1,149 @@
+// Package workloads defines the workload-generator framework and registry.
+//
+// The paper evaluates on SPEC CPU2017, GAP, and CloudSuite traces that are
+// not redistributable; this package provides synthetic substitutes that
+// reproduce the access-pattern archetypes the paper's analysis attributes
+// its results to (see DESIGN.md §2). Suite subpackages register their
+// workloads via Register in init functions; import them blank to populate
+// the registry:
+//
+//	import (
+//	    _ "github.com/bertisim/berti/internal/workloads/cloudlike"
+//	    _ "github.com/bertisim/berti/internal/workloads/gap"
+//	    _ "github.com/bertisim/berti/internal/workloads/speclike"
+//	)
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"github.com/bertisim/berti/internal/trace"
+)
+
+// GenConfig parameterizes trace generation.
+type GenConfig struct {
+	// MemRecords is the number of memory instructions to emit.
+	MemRecords int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Workload is a named trace generator.
+type Workload struct {
+	Name  string
+	Suite string // "spec", "gap", "cloud"
+	// MemIntensive marks traces in the paper's MemInt subset.
+	MemIntensive bool
+	Gen          func(cfg GenConfig) *trace.Slice
+}
+
+var (
+	mu       sync.Mutex
+	registry = map[string]Workload{}
+)
+
+// Register adds a workload to the global registry (called from suite
+// subpackage init functions). Duplicate names panic.
+func Register(w Workload) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[w.Name]; dup {
+		panic(fmt.Sprintf("workloads: duplicate %q", w.Name))
+	}
+	registry[w.Name] = w
+}
+
+// ByName returns a registered workload.
+func ByName(name string) (Workload, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	w, ok := registry[name]
+	return w, ok
+}
+
+// All returns every registered workload sorted by suite then name.
+func All() []Workload {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]Workload, 0, len(registry))
+	for _, w := range registry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Suite != out[j].Suite {
+			return out[i].Suite < out[j].Suite
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Suite returns registered workloads of one suite.
+func Suite(name string) []Workload {
+	var out []Workload
+	for _, w := range All() {
+		if w.Suite == name {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Emitter builds a trace record-by-record with convenient defaults.
+type Emitter struct {
+	T   *trace.Slice
+	Rng *rand.Rand
+	// limit stops emission once MemRecords is reached.
+	limit int
+}
+
+// NewEmitter returns an emitter for cfg.
+func NewEmitter(cfg GenConfig) *Emitter {
+	return &Emitter{
+		T:     &trace.Slice{Records: make([]trace.Record, 0, cfg.MemRecords)},
+		Rng:   rand.New(rand.NewSource(cfg.Seed)),
+		limit: cfg.MemRecords,
+	}
+}
+
+// Full reports whether the record budget is exhausted.
+func (e *Emitter) Full() bool { return len(e.T.Records) >= e.limit }
+
+// RecordIndex returns the index the next record will occupy, for computing
+// data-dependence distances.
+func (e *Emitter) RecordIndex() int { return len(e.T.Records) }
+
+// Load appends a load record.
+func (e *Emitter) Load(ip, addr uint64, nonMemBefore int, depDist uint8) {
+	if e.Full() {
+		return
+	}
+	e.T.Append(trace.Record{
+		IP: ip, Addr: addr, Kind: trace.Load,
+		NonMemBefore: uint32(nonMemBefore), DepDist: depDist,
+	})
+}
+
+// Store appends a store record.
+func (e *Emitter) Store(ip, addr uint64, nonMemBefore int, depDist uint8) {
+	if e.Full() {
+		return
+	}
+	e.T.Append(trace.Record{
+		IP: ip, Addr: addr, Kind: trace.Store,
+		NonMemBefore: uint32(nonMemBefore), DepDist: depDist,
+	})
+}
+
+// IP builds a fake instruction pointer from a code-location index. The
+// spacing is deliberately not a power of two: x86 instructions have
+// variable length, and power-of-two-aligned synthetic IPs would alias in
+// any set-indexed predictor table.
+func IP(loc int) uint64 { return 0x400000 + uint64(loc)*21 }
+
+// Base builds a virtual array base address from a region index, spacing
+// regions 1 GB apart so they never collide.
+func Base(region int) uint64 { return 0x1_0000_0000 + uint64(region)<<30 }

@@ -1,0 +1,125 @@
+package workloads_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/bertisim/berti/internal/trace"
+	"github.com/bertisim/berti/internal/workloads"
+	_ "github.com/bertisim/berti/internal/workloads/cloudlike"
+	_ "github.com/bertisim/berti/internal/workloads/gap"
+	_ "github.com/bertisim/berti/internal/workloads/speclike"
+)
+
+func TestRegistryHasAllSuites(t *testing.T) {
+	counts := map[string]int{}
+	for _, w := range workloads.All() {
+		counts[w.Suite]++
+	}
+	if counts["spec"] < 10 {
+		t.Fatalf("spec suite too small: %d", counts["spec"])
+	}
+	if counts["gap"] < 12 {
+		t.Fatalf("gap suite too small: %d", counts["gap"])
+	}
+	if counts["cloud"] < 4 {
+		t.Fatalf("cloud suite too small: %d", counts["cloud"])
+	}
+}
+
+func TestEveryGeneratorHonorsBudgetAndDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates every workload")
+	}
+	const n = 3000
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			a := w.Gen(workloads.GenConfig{MemRecords: n, Seed: 7})
+			if a.Len() != n {
+				t.Fatalf("generated %d records, want %d", a.Len(), n)
+			}
+			b := w.Gen(workloads.GenConfig{MemRecords: n, Seed: 7})
+			if !reflect.DeepEqual(a.Records, b.Records) {
+				t.Fatal("generation is not deterministic")
+			}
+			// Sanity: addresses nonzero, IPs nonzero.
+			for i := 0; i < 100; i++ {
+				r := a.Records[i]
+				if r.Addr == 0 || r.IP == 0 {
+					t.Fatalf("record %d has zero addr/ip: %+v", i, r)
+				}
+			}
+		})
+	}
+}
+
+func TestDependenceDistancesValid(t *testing.T) {
+	for _, name := range []string{"mcf_like_1554", "bfs-kron", "omnetpp_like"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		tr := w.Gen(workloads.GenConfig{MemRecords: 5000, Seed: 1})
+		deps := 0
+		for i, r := range tr.Records {
+			if int(r.DepDist) > i {
+				t.Fatalf("%s record %d: DepDist %d points before trace start", name, i, r.DepDist)
+			}
+			if r.DepDist > 0 {
+				deps++
+			}
+		}
+		if deps == 0 {
+			t.Fatalf("%s should contain dependent accesses", name)
+		}
+	}
+}
+
+func TestMemIntensiveFlags(t *testing.T) {
+	for _, w := range workloads.All() {
+		if w.Suite == "cloud" && w.MemIntensive {
+			t.Fatalf("%s: cloud traces are not in the MemInt subset", w.Name)
+		}
+		if (w.Suite == "spec" || w.Suite == "gap") && !w.MemIntensive {
+			t.Fatalf("%s: spec/gap traces are all memory-intensive per the paper", w.Name)
+		}
+	}
+}
+
+func TestEmitterBudget(t *testing.T) {
+	e := workloads.NewEmitter(workloads.GenConfig{MemRecords: 3, Seed: 1})
+	for i := 0; i < 10; i++ {
+		e.Load(1, 64, 0, 0)
+	}
+	if e.T.Len() != 3 {
+		t.Fatalf("emitter overfilled: %d", e.T.Len())
+	}
+	if !e.Full() {
+		t.Fatal("emitter should report full")
+	}
+}
+
+func TestByNameMissing(t *testing.T) {
+	if _, ok := workloads.ByName("no-such-workload"); ok {
+		t.Fatal("ByName invented a workload")
+	}
+}
+
+func TestTraceInstructionCounts(t *testing.T) {
+	w, _ := workloads.ByName("roms_like")
+	tr := w.Gen(workloads.GenConfig{MemRecords: 1000, Seed: 1})
+	if tr.Instructions() <= uint64(tr.Len()) {
+		t.Fatal("non-memory instructions missing")
+	}
+	var loads int
+	for _, r := range tr.Records {
+		if r.Kind == trace.Load {
+			loads++
+		}
+	}
+	if loads == 0 || loads == tr.Len() {
+		t.Fatalf("roms should mix loads and stores: %d/%d", loads, tr.Len())
+	}
+}
