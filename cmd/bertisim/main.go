@@ -5,18 +5,34 @@
 //
 //	bertisim -workload mcf_like_1554 -l1d berti
 //	bertisim -workload bfs-kron -l1d ipcp -l2 spp-ppf -records 500000
+//	bertisim -workload mcf_like_1554 -l1d berti -interval 100000 \
+//	    -timeseries-out ts.csv -trace-out trace.json
 //	bertisim -list
+//
+// Observability: -interval N samples all counters every N retired
+// instructions into a per-interval time series (written to
+// -timeseries-out as CSV or JSON by extension, and embedded in the -json
+// report); -trace-out records structured events (demand misses, prefetch
+// issue/fill/use/evict, MSHR stalls, TLB walks) into a bounded ring buffer
+// and writes Chrome trace_event JSON loadable in chrome://tracing or
+// Perfetto; -pprof serves net/http/pprof for profiling the simulator
+// itself. Simulation throughput (kinstr/s) is reported on stderr.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"strings"
+	"time"
 
 	"github.com/bertisim/berti/internal/cache"
 	"github.com/bertisim/berti/internal/energy"
 	"github.com/bertisim/berti/internal/harness"
+	"github.com/bertisim/berti/internal/obs"
 	"github.com/bertisim/berti/internal/prefetch"
 	"github.com/bertisim/berti/internal/sim"
 	"github.com/bertisim/berti/internal/trace"
@@ -32,6 +48,11 @@ func main() {
 	records := flag.Int("records", 0, "memory records to generate (0 = scale default)")
 	list := flag.Bool("list", false, "list workloads and prefetchers, then exit")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON (machine-readable)")
+	interval := flag.Uint64("interval", 0, "sample counters every N retired instructions (0 = sampling off)")
+	tsOut := flag.String("timeseries-out", "", "write the sampled time series to this file (.json = JSON, else CSV)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of structured events to this file")
+	traceBuf := flag.Int("trace-buf", 1<<16, "event-trace ring-buffer capacity (oldest events overwritten)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if *list {
@@ -54,6 +75,37 @@ func main() {
 		return
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	// Writing a time series implies sampling; pick a sane default interval.
+	if *tsOut != "" && *interval == 0 {
+		*interval = 100_000
+	}
+	if *traceOut != "" && *traceBuf <= 0 {
+		fmt.Fprintln(os.Stderr, "bertisim: -trace-buf must be > 0")
+		os.Exit(2)
+	}
+	// Fail on unwritable output paths now, not after a long simulation.
+	ensureWritable(*tsOut)
+	ensureWritable(*traceOut)
+	var observer *obs.Observer
+	if *interval > 0 || *traceOut != "" {
+		observer = &obs.Observer{}
+		if *interval > 0 {
+			observer.Sampler = obs.NewSampler(*interval)
+		}
+		if *traceOut != "" {
+			observer.Tracer = obs.NewTracer(*traceBuf)
+		}
+	}
+
 	scale := harness.ScaleFromEnv()
 	if *records > 0 {
 		scale.MemRecords = *records
@@ -61,6 +113,7 @@ func main() {
 	h := harness.New(scale)
 
 	var res, base *sim.Result
+	var elapsed time.Duration
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
@@ -73,7 +126,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "decoding trace:", err)
 			os.Exit(1)
 		}
-		run := func(l1, l2 string) *sim.Result {
+		run := func(l1, l2 string, o *obs.Observer) *sim.Result {
 			cfg := sim.DefaultConfig()
 			cfg.WarmupInstructions = scale.WarmupInstr
 			cfg.SimInstructions = scale.SimInstr
@@ -95,19 +148,36 @@ func main() {
 				l2f = func() cache.Prefetcher { return e.New() }
 			}
 			m := sim.New(cfg, []trace.Reader{trace.NewLoopReader(tr)}, l1f, l2f)
+			m.SetObserver(o)
 			return m.Run()
 		}
-		res = run(*l1d, *l2)
-		base = run("ip-stride", "")
+		start := time.Now()
+		res = run(*l1d, *l2, observer)
+		elapsed = time.Since(start)
+		base = run("ip-stride", "", nil)
 		*workload = *traceFile
 	} else {
 		if _, ok := workloads.ByName(*workload); !ok {
 			fmt.Fprintf(os.Stderr, "unknown workload %q (use -list)\n", *workload)
 			os.Exit(2)
 		}
-		res = h.Run(harness.RunSpec{Workload: *workload, L1DPf: *l1d, L2Pf: *l2, DRAMCfg: *dramCfg})
+		spec := harness.RunSpec{Workload: *workload, L1DPf: *l1d, L2Pf: *l2, DRAMCfg: *dramCfg}
+		start := time.Now()
+		if observer != nil {
+			res = h.RunObserved(spec, observer)
+		} else {
+			res = h.Run(spec)
+		}
+		elapsed = time.Since(start)
 		base = h.Run(harness.RunSpec{Workload: *workload, L1DPf: "ip-stride", DRAMCfg: *dramCfg})
 	}
+
+	if elapsed > 0 {
+		kinstr := float64(res.Config.SimInstructions+res.Config.WarmupInstructions) / 1000
+		fmt.Fprintf(os.Stderr, "sim throughput: %.0f kinstr/s (%.2fs wall, %d measured cycles)\n",
+			kinstr/elapsed.Seconds(), elapsed.Seconds(), res.Cycles)
+	}
+	writeObservability(observer, res, *tsOut, *traceOut)
 
 	instr := res.Config.SimInstructions
 	c := &res.Cores[0]
@@ -140,24 +210,91 @@ func main() {
 		e.L1D/1e6, e.L2/1e6, e.LLC/1e6, e.DRAM/1e6, e.Total()/1e6)
 	fmt.Printf("TLB  dTLBmiss=%d STLBmiss=%d walks=%d pfDropTLB=%d\n",
 		c.TLB.DTLBMisses, c.TLB.STLBMisses, c.TLB.PageWalks, c.TLB.PrefDropTLB)
+	if ts := res.TimeSeries; ts != nil && len(ts.Rows) > 0 {
+		last := &ts.Rows[len(ts.Rows)-1]
+		fmt.Printf("timeseries: %d intervals of %d instr (last: ipc=%.3f acc=%.3f)\n",
+			len(ts.Rows), ts.IntervalInstr, last.IPC, last.PfAccuracy)
+	}
 }
 
-// jsonReport is the machine-readable output of one run.
+// ensureWritable verifies an output path can be created, exiting early with
+// a clean error instead of failing after the simulation has run.
+func ensureWritable(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bertisim:", err)
+		os.Exit(1)
+	}
+	f.Close()
+}
+
+// writeObservability persists the sampled time series and the event trace.
+func writeObservability(o *obs.Observer, res *sim.Result, tsOut, traceOut string) {
+	if tsOut != "" && res.TimeSeries != nil {
+		f, err := os.Create(tsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "timeseries:", err)
+			os.Exit(1)
+		}
+		if strings.HasSuffix(tsOut, ".json") {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			err = enc.Encode(res.TimeSeries)
+		} else {
+			err = res.TimeSeries.WriteCSV(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "timeseries:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "timeseries: wrote %d intervals to %s\n",
+			len(res.TimeSeries.Rows), tsOut)
+	}
+	if o == nil || o.Tracer == nil || traceOut == "" {
+		return
+	}
+	f, err := os.Create(traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+	err = o.Tracer.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "trace: wrote %d events to %s (%d emitted, %d dropped by ring)\n",
+		len(o.Tracer.Events()), traceOut, o.Tracer.Total(), o.Tracer.Dropped())
+}
+
+// jsonReport is the machine-readable output of one run. SchemaVersion
+// (obs.SchemaVersion) governs both this shape and the embedded time series.
 type jsonReport struct {
-	Workload string  `json:"workload"`
-	L1DPf    string  `json:"l1d_prefetcher"`
-	L2Pf     string  `json:"l2_prefetcher"`
-	IPC      float64 `json:"ipc"`
-	Baseline float64 `json:"baseline_ipc"`
-	Speedup  float64 `json:"speedup"`
-	L1DMPKI  float64 `json:"l1d_mpki"`
-	L2MPKI   float64 `json:"l2_mpki"`
-	LLCMPKI  float64 `json:"llc_mpki"`
-	Accuracy float64 `json:"l1d_prefetch_accuracy"`
-	Timely   float64 `json:"timely_fraction"`
-	DRAMRead uint64  `json:"dram_reads"`
-	DRAMWrit uint64  `json:"dram_writes"`
-	EnergyPJ float64 `json:"dynamic_energy_pj"`
+	SchemaVersion int             `json:"schema_version"`
+	Workload      string          `json:"workload"`
+	L1DPf         string          `json:"l1d_prefetcher"`
+	L2Pf          string          `json:"l2_prefetcher"`
+	IPC           float64         `json:"ipc"`
+	Baseline      float64         `json:"baseline_ipc"`
+	Speedup       float64         `json:"speedup"`
+	L1DMPKI       float64         `json:"l1d_mpki"`
+	L2MPKI        float64         `json:"l2_mpki"`
+	LLCMPKI       float64         `json:"llc_mpki"`
+	Accuracy      float64         `json:"l1d_prefetch_accuracy"`
+	Timely        float64         `json:"timely_fraction"`
+	DRAMRead      uint64          `json:"dram_reads"`
+	DRAMWrit      uint64          `json:"dram_writes"`
+	EnergyPJ      float64         `json:"dynamic_energy_pj"`
+	TimeSeries    *obs.TimeSeries `json:"time_series,omitempty"`
 }
 
 // emitJSON prints the machine-readable report.
@@ -165,20 +302,22 @@ func emitJSON(workload, l1d, l2 string, res, base *sim.Result) {
 	instr := res.Config.SimInstructions
 	c := &res.Cores[0]
 	rep := jsonReport{
-		Workload: workload,
-		L1DPf:    l1d,
-		L2Pf:     l2,
-		IPC:      res.IPC(),
-		Baseline: base.IPC(),
-		Speedup:  harness.SpeedupOver(res, base),
-		L1DMPKI:  c.L1D.MPKI(instr),
-		L2MPKI:   c.L2.MPKI(instr),
-		LLCMPKI:  res.LLC.MPKI(instr),
-		Accuracy: c.L1D.Accuracy(),
-		Timely:   c.L1D.TimelyFraction(),
-		DRAMRead: res.DRAM.Reads,
-		DRAMWrit: res.DRAM.Writes,
-		EnergyPJ: energy.Compute(energy.Default22nm(), res).Total(),
+		SchemaVersion: obs.SchemaVersion,
+		Workload:      workload,
+		L1DPf:         l1d,
+		L2Pf:          l2,
+		IPC:           res.IPC(),
+		Baseline:      base.IPC(),
+		Speedup:       harness.SpeedupOver(res, base),
+		L1DMPKI:       c.L1D.MPKI(instr),
+		L2MPKI:        c.L2.MPKI(instr),
+		LLCMPKI:       res.LLC.MPKI(instr),
+		Accuracy:      c.L1D.Accuracy(),
+		Timely:        c.L1D.TimelyFraction(),
+		DRAMRead:      res.DRAM.Reads,
+		DRAMWrit:      res.DRAM.Writes,
+		EnergyPJ:      energy.Compute(energy.Default22nm(), res).Total(),
+		TimeSeries:    res.TimeSeries,
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -9,6 +9,7 @@ package cache
 import (
 	"fmt"
 
+	"github.com/bertisim/berti/internal/obs"
 	"github.com/bertisim/berti/internal/stats"
 )
 
@@ -288,6 +289,12 @@ type Cache struct {
 	Stats     stats.CacheStats
 	// drripPSEL and leader sets for DRRIP set dueling.
 	drripPSEL int
+	// tr is the structured event tracer (nil = tracing disabled; every
+	// emission is guarded by a nil check so the disabled path is free).
+	tr *obs.Tracer
+	// trigIP is the IP of the access currently driving the prefetcher
+	// (event attribution for prefetch issues; 0 outside firePrefetcher).
+	trigIP uint64
 }
 
 // New builds a cache level. lower may be nil only in unit tests.
@@ -316,6 +323,20 @@ func (c *Cache) Prefetcher() Prefetcher { return c.pf }
 
 // SetTranslator attaches the STLB translation path (L1D only).
 func (c *Cache) SetTranslator(t Translator) { c.xlat = t }
+
+// SetTracer attaches a structured event tracer (nil disables tracing).
+func (c *Cache) SetTracer(t *obs.Tracer) { c.tr = t }
+
+// emit records one trace event; lvl is derived from the cache's level.
+func (c *Cache) emit(cycle uint64, kind obs.EventKind, addr, ip uint64) {
+	c.tr.Emit(obs.Event{
+		Cycle:  cycle,
+		Kind:   kind,
+		Source: obs.Source(c.cfg.Level),
+		Addr:   addr,
+		IP:     ip,
+	})
+}
 
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
@@ -596,6 +617,9 @@ func (c *Cache) EnqueuePrefetches(reqs []PrefetchReq, cycle uint64, triggerVPage
 			notBefore: cycle + extraLat,
 		})
 		c.Stats.PrefIssued++
+		if c.tr != nil {
+			c.emit(cycle, obs.EvPrefetchIssue, pline, c.trigIP)
+		}
 	}
 }
 
@@ -634,6 +658,9 @@ func (c *Cache) fill(m *mshr, cycle uint64) {
 			evPf = v.prefetched
 			if v.prefetched {
 				c.Stats.PrefUseless++
+				if c.tr != nil {
+					c.emit(cycle, obs.EvPrefetchEvict, v.addr, v.pfIP)
+				}
 			}
 			if v.dirty {
 				c.writebackVictim(v, cycle)
@@ -650,6 +677,9 @@ func (c *Cache) fill(m *mshr, cycle uint64) {
 			// Every prefetch-initiated fill counts toward the artifact
 			// accuracy denominator, including late (demand-merged) ones.
 			c.Stats.PrefFills++
+			if c.tr != nil {
+				c.emit(cycle, obs.EvPrefetchFill, m.lineAddr, m.ip)
+			}
 		}
 		if m.isPrefetch && !m.demandMerged {
 			v.prefetched = true
@@ -729,6 +759,9 @@ func (c *Cache) processWrites(cycle uint64) {
 			if v.valid {
 				if v.prefetched {
 					c.Stats.PrefUseless++
+					if c.tr != nil {
+						c.emit(cycle, obs.EvPrefetchEvict, v.addr, v.pfIP)
+					}
 				}
 				if v.dirty {
 					c.writebackVictim(v, cycle)
@@ -759,6 +792,9 @@ func (c *Cache) processReads(cycle uint64) {
 			if !done {
 				// MSHR full: stall this and subsequent requests.
 				c.Stats.MSHRFullStalls++
+				if c.tr != nil {
+					c.emit(cycle, obs.EvMSHRStall, r.LineAddr, r.IP)
+				}
 				return
 			}
 			if consumed {
@@ -788,6 +824,9 @@ func (c *Cache) serviceRead(r *Req, cycle uint64) (done, consumed bool) {
 		if pfHit && !r.IsPrefetch {
 			c.Stats.PrefUseful++
 			l.prefetched = false
+			if c.tr != nil {
+				c.emit(cycle, obs.EvPrefetchUse, r.LineAddr, r.IP)
+			}
 		}
 		c.touch(l)
 		if r.Store {
@@ -829,6 +868,9 @@ func (c *Cache) serviceRead(r *Req, cycle uint64) (done, consumed bool) {
 				// the way down.
 				c.Stats.DemandMisses++
 				c.Stats.PrefLate++
+				if c.tr != nil {
+					c.emit(cycle, obs.EvDemandMiss, r.LineAddr, r.IP)
+				}
 				c.Promote(r.LineAddr)
 				m.demandMerged = true
 				m.ip = r.IP
@@ -856,6 +898,9 @@ func (c *Cache) serviceRead(r *Req, cycle uint64) (done, consumed bool) {
 	}
 	if !r.IsPrefetch {
 		c.Stats.DemandMisses++
+		if c.tr != nil {
+			c.emit(cycle, obs.EvDemandMiss, r.LineAddr, r.IP)
+		}
 		c.drripMissUpdate(r.LineAddr)
 		c.fireMissEvent(r, cycle)
 	}
@@ -897,7 +942,9 @@ func (c *Cache) firePrefetcher(ev AccessEvent, cycle uint64) {
 	ev.MSHRCap = c.cfg.MSHRs
 	reqs := c.pf.OnAccess(ev)
 	if len(reqs) > 0 {
+		c.trigIP = ev.IP
 		c.EnqueuePrefetches(reqs, cycle, ev.LineAddr>>(12-LineShift))
+		c.trigIP = 0
 	}
 }
 

@@ -623,6 +623,61 @@ func (b *Berti) SnapshotDeltas(ip uint64) []DeltaStatus {
 	return out
 }
 
+// Introspect implements obs.Introspector: it exposes the delta-table
+// occupancy, the per-delta coverage histogram, and the per-status delta
+// counts (plus the cumulative training counters), sampled by the interval
+// sampler to show when and how Berti's tables converge.
+func (b *Berti) Introspect(out map[string]float64) {
+	entries := 0
+	var slots, l1dSlots, l2Slots, l2ReplSlots, noPrefSlots int
+	var covHist [4]int // coverage buckets 0-3, 4-7, 8-11, 12-15
+	for i := range b.table {
+		e := &b.table[i]
+		if !e.valid {
+			continue
+		}
+		entries++
+		for j := range e.deltas {
+			s := &e.deltas[j]
+			if s.delta == 0 {
+				continue
+			}
+			slots++
+			switch s.status {
+			case statusL1D:
+				l1dSlots++
+			case statusL2:
+				l2Slots++
+			case statusL2Repl:
+				l2ReplSlots++
+			default:
+				noPrefSlots++
+			}
+			covHist[s.coverage/4]++
+		}
+	}
+	out["table_occupancy"] = float64(entries) / float64(len(b.table))
+	out["delta_slot_occupancy"] = float64(slots) / float64(len(b.table)*b.cfg.DeltasPerEntry)
+	out["deltas_l1d"] = float64(l1dSlots)
+	out["deltas_l2"] = float64(l2Slots)
+	out["deltas_l2_repl"] = float64(l2ReplSlots)
+	out["deltas_no_pref"] = float64(noPrefSlots)
+	out["cov_hist_0_3"] = float64(covHist[0])
+	out["cov_hist_4_7"] = float64(covHist[1])
+	out["cov_hist_8_11"] = float64(covHist[2])
+	out["cov_hist_12_15"] = float64(covHist[3])
+	out["searches"] = float64(b.Searches)
+	out["timely_deltas"] = float64(b.TimelyDeltas)
+	if b.Searches > 0 {
+		out["timely_per_search"] = float64(b.TimelyDeltas) / float64(b.Searches)
+	} else {
+		out["timely_per_search"] = 0
+	}
+	out["phase_resets"] = float64(b.PhaseResets)
+	out["issued_l1d"] = float64(b.IssuedL1D)
+	out["issued_l2"] = float64(b.IssuedL2)
+}
+
 // String summarizes internal statistics.
 func (b *Berti) String() string {
 	return fmt.Sprintf("berti{searches=%d timely=%d phases=%d l1d=%d l2=%d}",

@@ -287,10 +287,3 @@ func runAblCrossPage(h *Harness, w io.Writer) {
 	fmt.Fprintln(w, t)
 	fmt.Fprintln(w, "paper: disabling cross-page prefetching costs a few percent")
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

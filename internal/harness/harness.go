@@ -14,6 +14,7 @@ import (
 	"github.com/bertisim/berti/internal/core"
 	"github.com/bertisim/berti/internal/dram"
 	"github.com/bertisim/berti/internal/metrics"
+	"github.com/bertisim/berti/internal/obs"
 	"github.com/bertisim/berti/internal/prefetch"
 	"github.com/bertisim/berti/internal/prefetch/oracle"
 	"github.com/bertisim/berti/internal/sim"
@@ -190,6 +191,29 @@ func (h *Harness) Run(spec RunSpec) *sim.Result {
 	}
 	h.mu.Unlock()
 
+	r := h.newMachine(spec).Run()
+
+	h.mu.Lock()
+	h.results[key] = r
+	h.mu.Unlock()
+	return r
+}
+
+// RunObserved executes one simulation with the observability layer
+// attached (interval sampler, event tracer). Observed runs bypass the memo
+// cache in both directions: a time series or event trace belongs to a
+// single execution, and the result must reflect the run that produced it.
+func (h *Harness) RunObserved(spec RunSpec, o *obs.Observer) *sim.Result {
+	release := h.acquire()
+	defer release()
+	m := h.newMachine(spec)
+	m.SetObserver(o)
+	return m.Run()
+}
+
+// newMachine builds the fully-wired machine for one spec (traces are still
+// memoized; the machine itself is fresh).
+func (h *Harness) newMachine(spec RunSpec) *sim.Machine {
 	cfg := sim.DefaultConfig()
 	cfg.DRAM = dramConfig(spec.DRAMCfg)
 	cfg.WarmupInstructions = h.Scale.WarmupInstr
@@ -221,13 +245,7 @@ func (h *Harness) Run(spec RunSpec) *sim.Result {
 			return oracle.New(tr, 24)
 		}
 	}
-	m := sim.New(cfg, readers, l1Factory, h.factory(spec.L2Pf, nil))
-	r := m.Run()
-
-	h.mu.Lock()
-	h.results[key] = r
-	h.mu.Unlock()
-	return r
+	return sim.New(cfg, readers, l1Factory, h.factory(spec.L2Pf, nil))
 }
 
 // RunMany executes specs concurrently and returns results in order.

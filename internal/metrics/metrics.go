@@ -115,10 +115,3 @@ func SortedKeys[V any](m map[string]V) []string {
 	sort.Strings(keys)
 	return keys
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,92 @@
+// Package obs is the simulator's observability layer: an interval sampler
+// that turns cumulative counters into per-interval time series (IPC, MPKI,
+// prefetch accuracy/coverage/lateness, MSHR occupancy, DRAM row-hit rate),
+// a bounded structured event tracer exportable as Chrome trace_event JSON,
+// and an optional introspection interface prefetchers may implement to
+// expose internal gauges (Berti reports delta-table state).
+//
+// Everything here is zero-cost when disabled: the simulator holds nil
+// pointers to the sampler/tracer and guards every emission with a single
+// nil check, so runs without observability pay no measurable overhead.
+package obs
+
+import (
+	"github.com/bertisim/berti/internal/stats"
+)
+
+// SchemaVersion identifies the time-series row shape (CSV columns and JSON
+// field set). Bump it on any breaking change so downstream tooling can
+// detect incompatibility.
+const SchemaVersion = 1
+
+// Source identifies where an event or counter came from. Values 0..3
+// deliberately match internal/cache.Level (L1D, L2, LLC, MEM) so cache
+// levels can pass their level number through without a conversion table.
+type Source uint8
+
+// Event/gauge sources.
+const (
+	SrcL1D Source = iota
+	SrcL2
+	SrcLLC
+	SrcMEM
+	SrcMMU
+	SrcCore
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case SrcL1D:
+		return "L1D"
+	case SrcL2:
+		return "L2"
+	case SrcLLC:
+		return "LLC"
+	case SrcMEM:
+		return "MEM"
+	case SrcMMU:
+		return "MMU"
+	case SrcCore:
+		return "Core"
+	default:
+		return "?"
+	}
+}
+
+// Introspector is optionally implemented by prefetchers that expose
+// internal gauges. Introspect fills out with named values; the sampler
+// calls it once per interval. Keys must be stable across calls (they become
+// CSV columns). Values may be instantaneous gauges (occupancies) or
+// cumulative counters; the sampler records them as-is.
+type Introspector interface {
+	Introspect(out map[string]float64)
+}
+
+// Snapshot is a capture of the simulator's cumulative counters at one
+// instant. The sampler differences consecutive snapshots to produce
+// per-interval rows.
+type Snapshot struct {
+	Cycle        uint64
+	Instructions uint64
+
+	Core stats.CoreStats
+	TLB  stats.TLBStats
+	L1D  stats.CacheStats
+	L2   stats.CacheStats
+	LLC  stats.CacheStats
+	DRAM stats.DRAMStats
+
+	// L1DMSHROccupancy is the instantaneous MSHR occupancy at sample time.
+	L1DMSHROccupancy int
+	// Gauges holds prefetcher introspection values (nil when the attached
+	// prefetcher does not implement Introspector).
+	Gauges map[string]float64
+}
+
+// Observer bundles the enabled observability sinks. Nil fields disable the
+// corresponding subsystem.
+type Observer struct {
+	Sampler *Sampler
+	Tracer  *Tracer
+}

@@ -1,0 +1,312 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/bertisim/berti/internal/obs"
+	"github.com/bertisim/berti/internal/stats"
+)
+
+// snapAt builds a snapshot with instr retired, a fixed 2-cycles-per-instr
+// pace, and cache counters scaled off instr so deltas are predictable.
+func snapAt(instr uint64) obs.Snapshot {
+	s := obs.Snapshot{
+		Cycle:        100 + 2*instr, // measurement began at cycle 100
+		Instructions: instr,
+	}
+	s.L1D = stats.CacheStats{
+		DemandMisses: instr / 100,
+		PrefIssued:   instr / 50,
+		PrefFills:    instr / 50,
+		PrefUseful:   instr / 100,
+	}
+	s.DRAM = stats.DRAMStats{
+		Reads:   instr / 100,
+		RowHits: instr / 200,
+	}
+	return s
+}
+
+func TestSamplerExactMultiples(t *testing.T) {
+	s := obs.NewSampler(1000)
+	s.Begin(snapAt(0))
+	for _, i := range []uint64{1000, 2000, 3000} {
+		s.Record(snapAt(i))
+	}
+	rows := s.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for i, r := range rows {
+		if r.Interval != i {
+			t.Fatalf("row %d: interval index = %d", i, r.Interval)
+		}
+		if r.EndInstr != uint64(i+1)*1000 {
+			t.Fatalf("row %d: end_instr = %d", i, r.EndInstr)
+		}
+		if r.Instructions != 1000 || r.Cycles != 2000 {
+			t.Fatalf("row %d: delta %d instr / %d cycles, want 1000/2000",
+				i, r.Instructions, r.Cycles)
+		}
+		if r.IPC != 0.5 {
+			t.Fatalf("row %d: ipc = %f, want 0.5", i, r.IPC)
+		}
+	}
+}
+
+func TestSamplerTrailingPartial(t *testing.T) {
+	s := obs.NewSampler(1000)
+	s.Begin(snapAt(0))
+	s.Record(snapAt(1000))
+	s.Record(snapAt(2000))
+	// Run ends mid-interval: the trailing Record closes a short row.
+	s.Record(snapAt(2500))
+	rows := s.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	last := rows[2]
+	if last.Instructions != 500 || last.EndInstr != 2500 {
+		t.Fatalf("trailing partial: %d instr ending at %d, want 500 at 2500",
+			last.Instructions, last.EndInstr)
+	}
+}
+
+func TestSamplerTrailingExactBoundary(t *testing.T) {
+	s := obs.NewSampler(1000)
+	s.Begin(snapAt(0))
+	s.Record(snapAt(1000))
+	s.Record(snapAt(2000))
+	// Run ended exactly on a boundary: the engine's final Record sees zero
+	// new instructions and must not emit an empty row.
+	s.Record(snapAt(2000))
+	if n := len(s.Rows()); n != 2 {
+		t.Fatalf("rows = %d, want 2 (zero-advance Record must be a no-op)", n)
+	}
+}
+
+func TestSamplerRecordBeforeBeginIgnored(t *testing.T) {
+	s := obs.NewSampler(1000)
+	s.Record(snapAt(1000))
+	if n := len(s.Rows()); n != 0 {
+		t.Fatalf("rows = %d, want 0 before Begin", n)
+	}
+}
+
+func TestSamplerDerivedRates(t *testing.T) {
+	s := obs.NewSampler(1000)
+	s.Begin(snapAt(0))
+	prev := snapAt(0)
+	snap := prev
+	snap.Instructions = 1000
+	snap.Cycle = prev.Cycle + 4000
+	snap.L1D = stats.CacheStats{
+		DemandMisses: 20, // includes the 5 late ones below
+		PrefFills:    40,
+		PrefUseful:   10,
+		PrefLate:     5,
+	}
+	snap.L2.DemandMisses = 8
+	snap.DRAM = stats.DRAMStats{RowHits: 30, RowMisses: 5, RowConflicts: 5}
+	s.Record(snap)
+	r := s.Rows()[0]
+	if r.IPC != 0.25 {
+		t.Fatalf("ipc = %f", r.IPC)
+	}
+	if r.L1DMPKI != 20 || r.L2MPKI != 8 {
+		t.Fatalf("mpki = %f / %f", r.L1DMPKI, r.L2MPKI)
+	}
+	if want := 15.0 / 40.0; r.PfAccuracy != want {
+		t.Fatalf("accuracy = %f, want %f", r.PfAccuracy, want)
+	}
+	// Coverage: (useful+late)/(misses+useful) = 15/30.
+	if want := 0.5; r.PfCoverage != want {
+		t.Fatalf("coverage = %f, want %f", r.PfCoverage, want)
+	}
+	if want := 10.0 / 15.0; r.PfTimelyFrac != want {
+		t.Fatalf("timely = %f, want %f", r.PfTimelyFrac, want)
+	}
+	if want := 0.75; r.DRAMRowHitRate != want {
+		t.Fatalf("row hit rate = %f, want %f", r.DRAMRowHitRate, want)
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := obs.NewTracer(4)
+	for i := 0; i < 10; i++ {
+		kind := obs.EvDemandMiss
+		if i%2 == 1 {
+			kind = obs.EvPrefetchIssue
+		}
+		tr.Emit(obs.Event{Cycle: uint64(i), Kind: kind, Source: obs.SrcL1D})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	// Oldest overwritten first: the tail (cycles 6..9) survives, in order.
+	for i, ev := range evs {
+		if ev.Cycle != uint64(6+i) {
+			t.Fatalf("event %d: cycle = %d, want %d", i, ev.Cycle, 6+i)
+		}
+	}
+	// Per-kind counts see every emission, not just the retained window.
+	if tr.Count(obs.EvDemandMiss) != 5 || tr.Count(obs.EvPrefetchIssue) != 5 {
+		t.Fatalf("counts = %d / %d, want 5 / 5",
+			tr.Count(obs.EvDemandMiss), tr.Count(obs.EvPrefetchIssue))
+	}
+}
+
+func TestTracerUnderCapacity(t *testing.T) {
+	tr := obs.NewTracer(8)
+	for i := 0; i < 3; i++ {
+		tr.Emit(obs.Event{Cycle: uint64(i), Kind: obs.EvTLBWalk, Source: obs.SrcMMU})
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 3 || evs[0].Cycle != 0 || evs[2].Cycle != 2 {
+		t.Fatalf("events wrong: %+v", evs)
+	}
+}
+
+func TestChromeTraceJSONRoundTrip(t *testing.T) {
+	tr := obs.NewTracer(64)
+	tr.Emit(obs.Event{Cycle: 10, Kind: obs.EvDemandMiss, Source: obs.SrcL1D, Addr: 0x1000, IP: 0x400040})
+	tr.Emit(obs.Event{Cycle: 20, Kind: obs.EvPrefetchIssue, Source: obs.SrcL1D, Addr: 0x1040, IP: 0x400040})
+	tr.Emit(obs.Event{Cycle: 30, Kind: obs.EvTLBWalk, Source: obs.SrcMMU, Addr: 0x7f})
+	tr.Emit(obs.Event{Cycle: 40, Kind: obs.EvPrefetchFill, Source: obs.SrcL2, Addr: 0x1040})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be a single valid trace_event JSON object.
+	var got struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   uint64            `json:"ts"`
+			TID  int               `json:"tid"`
+			S    string            `json:"s"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if got.OtherData["schema_version"] != "1" {
+		t.Fatalf("schema_version = %q", got.OtherData["schema_version"])
+	}
+	var meta, inst int
+	names := map[string]bool{}
+	for _, ev := range got.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name != "thread_name" {
+				t.Fatalf("metadata event named %q", ev.Name)
+			}
+		case "i":
+			inst++
+			if ev.S != "t" {
+				t.Fatalf("instant event scope = %q, want t", ev.S)
+			}
+			names[ev.Name] = true
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	// One thread_name per distinct source (L1D, MMU, L2) + 4 instants.
+	if meta != 3 || inst != 4 {
+		t.Fatalf("meta/instant = %d/%d, want 3/4", meta, inst)
+	}
+	for _, want := range []string{"demand_miss", "prefetch_issue", "tlb_walk", "prefetch_fill"} {
+		if !names[want] {
+			t.Fatalf("missing event name %q (got %v)", want, names)
+		}
+	}
+}
+
+// feedSampler drives one sampler through a fixed synthetic run. Gauge maps
+// are built in the given key order to check that CSV output does not depend
+// on map insertion order.
+func feedSampler(keyOrder []string) *obs.Sampler {
+	s := obs.NewSampler(500)
+	s.Begin(snapAt(0))
+	for _, i := range []uint64{500, 1000, 1500, 1750} {
+		snap := snapAt(i)
+		snap.Gauges = map[string]float64{}
+		for _, k := range keyOrder {
+			snap.Gauges[k] = float64(i) + float64(len(k))/8
+		}
+		s.Record(snap)
+	}
+	return s
+}
+
+func TestCSVDeterministicAndGaugeOrderStable(t *testing.T) {
+	a := feedSampler([]string{"alpha", "mid", "zeta"})
+	b := feedSampler([]string{"zeta", "alpha", "mid"})
+	var bufA, bufB bytes.Buffer
+	if err := a.Series().WriteCSV(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Series().WriteCSV(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("identical runs produced different CSV bytes")
+	}
+	lines := strings.Split(bufA.String(), "\n")
+	if !strings.HasPrefix(lines[0], "# berti.timeseries v1 interval=500") {
+		t.Fatalf("schema comment line wrong: %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[1], ",pf.alpha,pf.mid,pf.zeta") {
+		t.Fatalf("gauge columns not sorted: %q", lines[1])
+	}
+	// Header + 4 data rows + trailing newline.
+	if len(lines) != 7 {
+		t.Fatalf("line count = %d, want 7", len(lines))
+	}
+}
+
+func TestTimeSeriesJSONSchema(t *testing.T) {
+	s := feedSampler([]string{"occ"})
+	data, err := json.Marshal(s.Series())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["schema_version"] != float64(obs.SchemaVersion) {
+		t.Fatalf("schema_version = %v", got["schema_version"])
+	}
+	if got["interval_instructions"] != float64(500) {
+		t.Fatalf("interval_instructions = %v", got["interval_instructions"])
+	}
+	rows := got["rows"].([]any)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	first := rows[0].(map[string]any)
+	for _, key := range []string{"interval", "end_instr", "ipc", "l1d_mpki", "l1d_pf_accuracy", "gauges"} {
+		if _, ok := first[key]; !ok {
+			t.Fatalf("row missing %q: %v", key, first)
+		}
+	}
+}

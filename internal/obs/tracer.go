@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EventKind is the type tag of a traced event.
+type EventKind uint8
+
+// Event kinds recorded by the simulator.
+const (
+	EvDemandMiss EventKind = iota
+	EvPrefetchIssue
+	EvPrefetchFill
+	EvPrefetchUse
+	EvPrefetchEvict
+	EvMSHRStall
+	EvTLBWalk
+	evKindCount
+)
+
+// String implements fmt.Stringer (these become trace_event names).
+func (k EventKind) String() string {
+	switch k {
+	case EvDemandMiss:
+		return "demand_miss"
+	case EvPrefetchIssue:
+		return "prefetch_issue"
+	case EvPrefetchFill:
+		return "prefetch_fill"
+	case EvPrefetchUse:
+		return "prefetch_use"
+	case EvPrefetchEvict:
+		return "prefetch_evict"
+	case EvMSHRStall:
+		return "mshr_stall"
+	case EvTLBWalk:
+		return "tlb_walk"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one structured trace record. The struct is fixed-size and the
+// ring buffer preallocated, so emission never allocates.
+type Event struct {
+	Cycle  uint64
+	Kind   EventKind
+	Source Source
+	// Addr is the (line) address involved, 0 when not applicable.
+	Addr uint64
+	// IP is the triggering instruction pointer, 0 when unknown.
+	IP uint64
+}
+
+// Tracer is a bounded ring buffer of Events. When full, the oldest events
+// are overwritten — the tail of a run is always retained.
+type Tracer struct {
+	buf   []Event
+	next  int    // next write position
+	total uint64 // events ever emitted
+	// counts tallies emissions per kind (not subject to ring eviction).
+	counts [evKindCount]uint64
+}
+
+// NewTracer builds a tracer retaining up to capacity events.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		panic("obs: tracer capacity must be > 0")
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Emit records one event, overwriting the oldest when the buffer is full.
+func (t *Tracer) Emit(ev Event) {
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.next] = ev
+		t.next = (t.next + 1) % len(t.buf)
+	}
+	t.total++
+	if ev.Kind < evKindCount {
+		t.counts[ev.Kind]++
+	}
+}
+
+// Total returns the number of events ever emitted (including overwritten).
+func (t *Tracer) Total() uint64 { return t.total }
+
+// Dropped returns how many events were overwritten by ring wraparound.
+func (t *Tracer) Dropped() uint64 { return t.total - uint64(len(t.buf)) }
+
+// Count returns the emission tally for one kind (immune to wraparound).
+func (t *Tracer) Count(k EventKind) uint64 {
+	if k >= evKindCount {
+		return 0
+	}
+	return t.counts[k]
+}
+
+// Events returns the retained events in chronological order. The returned
+// slice is freshly allocated.
+func (t *Tracer) Events() []Event {
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// chromeEvent is one trace_event record (instant event, thread scope).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   uint64            `json:"ts"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the trace_event JSON object form, loadable by
+// chrome://tracing and Perfetto.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace renders the retained events as Chrome trace_event JSON.
+// Cycles map to microsecond timestamps (1 cycle = 1 us in the viewer);
+// each Source gets its own track (tid) so levels render as separate lanes.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	evs := t.Events()
+	ct := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(evs)+len(evs)/8),
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"schema_version": fmt.Sprint(SchemaVersion),
+			"emitted_total":  fmt.Sprint(t.total),
+			"dropped":        fmt.Sprint(t.Dropped()),
+		},
+	}
+	named := map[Source]bool{}
+	for _, ev := range evs {
+		if !named[ev.Source] {
+			named[ev.Source] = true
+			ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: 0, TID: int(ev.Source),
+				Args: map[string]string{"name": ev.Source.String()},
+			})
+		}
+		ce := chromeEvent{
+			Name: ev.Kind.String(),
+			Cat:  ev.Source.String(),
+			Ph:   "i",
+			TS:   ev.Cycle,
+			PID:  0,
+			TID:  int(ev.Source),
+			S:    "t",
+		}
+		if ev.Addr != 0 || ev.IP != 0 {
+			ce.Args = map[string]string{
+				"line": fmt.Sprintf("0x%x", ev.Addr),
+				"ip":   fmt.Sprintf("0x%x", ev.IP),
+			}
+		}
+		ct.TraceEvents = append(ct.TraceEvents, ce)
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(&ct); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -182,10 +182,3 @@ func (p *Prefetcher) OnAccess(ev cache.AccessEvent) []cache.PrefetchReq {
 
 // OnFill implements cache.Prefetcher.
 func (p *Prefetcher) OnFill(cache.FillEvent) {}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -306,7 +306,7 @@ func (c *Core) tryIssue(e *robEntry, cycle uint64) bool {
 		c.IssueBlocked++
 		return false
 	}
-	paddr, xlat := c.mmu.TranslateDemand(e.vaddr)
+	paddr, xlat := c.mmu.TranslateDemand(e.vaddr, cycle)
 	recIdx := e.recIdx
 	req := &cache.Req{
 		LineAddr:  paddr >> cache.LineShift,

@@ -5,6 +5,7 @@ import (
 
 	"github.com/bertisim/berti/internal/cache"
 	"github.com/bertisim/berti/internal/dram"
+	"github.com/bertisim/berti/internal/obs"
 	"github.com/bertisim/berti/internal/stats"
 	"github.com/bertisim/berti/internal/trace"
 	"github.com/bertisim/berti/internal/vm"
@@ -76,6 +77,9 @@ type Result struct {
 	L2PfName  string
 	L1DPfBits int
 	L2PfBits  int
+	// TimeSeries holds the per-interval samples when an observer with a
+	// sampler was attached before Run (nil otherwise).
+	TimeSeries *obs.TimeSeries
 }
 
 // IPC returns core 0's IPC (single-core convenience).
@@ -108,6 +112,12 @@ type Machine struct {
 	llc   *cache.Cache
 	dramC *dram.Channel
 	cycle uint64
+
+	// Observability (nil = disabled; the per-tick cost of the disabled
+	// path is a single bool check in runUntil).
+	obsv       *obs.Observer
+	sampling   bool
+	nextSample uint64
 }
 
 // New builds a machine: per-core L1D+L2 (private), a shared LLC sized
@@ -151,6 +161,56 @@ func New(cfg Config, traces []trace.Reader, l1dPf, l2Pf PrefetcherFactory) *Mach
 		m.cores = append(m.cores, core)
 	}
 	return m
+}
+
+// SetObserver attaches the observability layer. Must be called before Run.
+// A nil observer (or nil fields) leaves the corresponding subsystem
+// disabled at zero cost. The tracer is threaded into every cache level and
+// MMU; the sampler is driven from the measurement loop over core 0.
+func (m *Machine) SetObserver(o *obs.Observer) {
+	m.obsv = o
+	if o == nil || o.Tracer == nil {
+		return
+	}
+	for i := range m.l1ds {
+		m.l1ds[i].SetTracer(o.Tracer)
+		m.l2s[i].SetTracer(o.Tracer)
+		m.mmus[i].SetTracer(o.Tracer)
+	}
+	m.llc.SetTracer(o.Tracer)
+}
+
+// snapshot captures core 0's cumulative counters (plus shared LLC/DRAM)
+// for the interval sampler. Multi-core runs sample core 0's view.
+func (m *Machine) snapshot() obs.Snapshot {
+	s := obs.Snapshot{
+		Cycle:            m.cycle,
+		Instructions:     m.cores[0].Stats.Instructions,
+		Core:             m.cores[0].Stats,
+		TLB:              m.mmus[0].Stats,
+		L1D:              m.l1ds[0].Stats,
+		L2:               m.l2s[0].Stats,
+		LLC:              m.llc.Stats,
+		DRAM:             m.dramC.Stats,
+		L1DMSHROccupancy: m.l1ds[0].MSHROccupancy(),
+	}
+	if pf := m.l1ds[0].Prefetcher(); pf != nil {
+		if in, ok := pf.(obs.Introspector); ok {
+			s.Gauges = make(map[string]float64, 16)
+			in.Introspect(s.Gauges)
+		}
+	}
+	return s
+}
+
+// maybeSample records a sampler row at every interval boundary crossed by
+// core 0's retired-instruction count.
+func (m *Machine) maybeSample() {
+	instr := m.cores[0].Stats.Instructions
+	for instr >= m.nextSample {
+		m.obsv.Sampler.Record(m.snapshot())
+		m.nextSample += m.obsv.Sampler.Interval()
+	}
 }
 
 // L1D returns core i's L1D (harness introspection).
@@ -205,6 +265,14 @@ func (m *Machine) Run() *Result {
 	m.llc.ResetStats()
 	m.dramC.Stats = stats.DRAMStats{}
 
+	// Arm the interval sampler: baseline at measurement start (counters
+	// just reset, only the cycle is nonzero).
+	if m.obsv != nil && m.obsv.Sampler != nil {
+		m.obsv.Sampler.Begin(m.snapshot())
+		m.nextSample = m.obsv.Sampler.Interval()
+		m.sampling = true
+	}
+
 	// Measurement phase.
 	m.runUntil(func() bool {
 		for _, c := range m.cores {
@@ -216,6 +284,13 @@ func (m *Machine) Run() *Result {
 	})
 
 	res := &Result{Config: cfg, Cycles: m.cycle - warmupEnd}
+	if m.sampling {
+		// Close the trailing partial interval (no-op when the run ended
+		// exactly on a boundary) and publish the series.
+		m.obsv.Sampler.Record(m.snapshot())
+		m.sampling = false
+		res.TimeSeries = m.obsv.Sampler.Series()
+	}
 	for i, c := range m.cores {
 		finish := c.FinishedCycle
 		if finish == 0 {
@@ -259,6 +334,9 @@ func (m *Machine) runUntil(cond func() bool) {
 	var lastRetired uint64
 	for !cond() {
 		m.tick()
+		if m.sampling {
+			m.maybeSample()
+		}
 		var retired uint64
 		for _, c := range m.cores {
 			retired += c.RetiredTotal

@@ -40,14 +40,18 @@ type CacheStats struct {
 	FillLatencyCount uint64
 	FillLatencyMin   uint64
 	FillLatencyMax   uint64
+	// latencySeen distinguishes "no samples yet" from a genuine minimum of
+	// zero cycles (0 is a valid measured latency, not a sentinel).
+	latencySeen bool
 }
 
 // RecordFillLatency folds one measured fill latency into the distribution.
 func (s *CacheStats) RecordFillLatency(lat uint64) {
 	s.FillLatencySum += lat
 	s.FillLatencyCount++
-	if s.FillLatencyMin == 0 || lat < s.FillLatencyMin {
+	if !s.latencySeen || lat < s.FillLatencyMin {
 		s.FillLatencyMin = lat
+		s.latencySeen = true
 	}
 	if lat > s.FillLatencyMax {
 		s.FillLatencyMax = lat

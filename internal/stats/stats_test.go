@@ -50,6 +50,27 @@ func TestFillLatencyDistribution(t *testing.T) {
 	}
 }
 
+func TestFillLatencyZeroMin(t *testing.T) {
+	// A genuine 0-cycle latency must become the minimum, and a later,
+	// larger sample must not displace it (0 is not a "no samples" marker).
+	var s CacheStats
+	s.RecordFillLatency(0)
+	s.RecordFillLatency(50)
+	if s.FillLatencyMin != 0 {
+		t.Fatalf("min = %d, want 0", s.FillLatencyMin)
+	}
+	if s.FillLatencyMax != 50 {
+		t.Fatalf("max = %d, want 50", s.FillLatencyMax)
+	}
+	// Order-independence: large first, then zero.
+	var s2 CacheStats
+	s2.RecordFillLatency(50)
+	s2.RecordFillLatency(0)
+	if s2.FillLatencyMin != 0 {
+		t.Fatalf("min = %d, want 0", s2.FillLatencyMin)
+	}
+}
+
 func TestTrafficTotal(t *testing.T) {
 	tr := Traffic{L1DToL2: 10, WBToL2: 5, L2ToLLC: 8, WBToLLC: 2, LLCToDRAM: 6, WBToDRAM: 1}
 	l2, llc, dram := tr.Total()

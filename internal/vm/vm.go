@@ -8,6 +8,7 @@
 package vm
 
 import (
+	"github.com/bertisim/berti/internal/obs"
 	"github.com/bertisim/berti/internal/stats"
 )
 
@@ -152,7 +153,12 @@ type MMU struct {
 	dtlb  *TLB
 	stlb  *TLB
 	Stats stats.TLBStats
+	// tr is the structured event tracer (nil = tracing disabled).
+	tr *obs.Tracer
 }
+
+// SetTracer attaches a structured event tracer (nil disables tracing).
+func (m *MMU) SetTracer(t *obs.Tracer) { m.tr = t }
 
 // NewMMU builds the translation path for one core.
 func NewMMU(cfg MMUConfig, seed uint64) *MMU {
@@ -167,7 +173,8 @@ func NewMMU(cfg MMUConfig, seed uint64) *MMU {
 // TranslateDemand translates a demand access's virtual address and returns
 // the physical address plus the translation latency in cycles. Demand
 // translations always succeed (walking the page table on STLB miss).
-func (m *MMU) TranslateDemand(vaddr uint64) (paddr uint64, latency uint64) {
+// cycle timestamps the traced page-walk event (pass 0 when untraced).
+func (m *MMU) TranslateDemand(vaddr uint64, cycle uint64) (paddr uint64, latency uint64) {
 	vpn := vaddr >> PageShift
 	off := vaddr & (PageSize - 1)
 	m.Stats.DTLBAccesses++
@@ -182,6 +189,11 @@ func (m *MMU) TranslateDemand(vaddr uint64) (paddr uint64, latency uint64) {
 	}
 	m.Stats.STLBMisses++
 	m.Stats.PageWalks++
+	if m.tr != nil {
+		m.tr.Emit(obs.Event{
+			Cycle: cycle, Kind: obs.EvTLBWalk, Source: obs.SrcMMU, Addr: vpn,
+		})
+	}
 	pfn := m.pt.Translate(vpn)
 	m.stlb.Insert(vpn, pfn)
 	m.dtlb.Insert(vpn, pfn)

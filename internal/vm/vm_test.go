@@ -69,11 +69,11 @@ func TestTLBLRUEviction(t *testing.T) {
 
 func TestMMUDemandAlwaysTranslates(t *testing.T) {
 	m := NewMMU(DefaultMMUConfig(), 1)
-	p1, lat1 := m.TranslateDemand(0x1234_5678)
+	p1, lat1 := m.TranslateDemand(0x1234_5678, 0)
 	if lat1 == 0 {
 		t.Fatal("first demand translation should cost a walk")
 	}
-	p2, lat2 := m.TranslateDemand(0x1234_5678)
+	p2, lat2 := m.TranslateDemand(0x1234_5678, 0)
 	if p1 != p2 {
 		t.Fatal("translation changed")
 	}
@@ -94,7 +94,7 @@ func TestMMUPrefetchDropsOnSTLBMiss(t *testing.T) {
 		t.Fatalf("PrefDropTLB = %d", m.Stats.PrefDropTLB)
 	}
 	// After a demand touch, the STLB holds the translation.
-	m.TranslateDemand(0x9999_0000)
+	m.TranslateDemand(0x9999_0000, 0)
 	if _, _, ok := m.TranslatePrefetch(0x9999_0040); !ok {
 		t.Fatal("prefetch within a demanded page should translate")
 	}
@@ -105,7 +105,7 @@ func TestMMUPrefetchDropsOnSTLBMiss(t *testing.T) {
 func TestTranslationOffsetProperty(t *testing.T) {
 	m := NewMMU(DefaultMMUConfig(), 7)
 	f := func(vaddr uint64) bool {
-		p, _ := m.TranslateDemand(vaddr)
+		p, _ := m.TranslateDemand(vaddr, 0)
 		return p&(PageSize-1) == vaddr&(PageSize-1)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
