@@ -134,7 +134,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		cfg := sim.DefaultConfig()
 		cfg.WarmupInstructions = 10_000
 		cfg.SimInstructions = 100_000
-		res := sim.RunOnce(cfg, tr, func() cache.Prefetcher { return core.New(core.DefaultConfig()) }, nil)
+		res := sim.MustRunOnce(cfg, tr, func() cache.Prefetcher { return core.New(core.DefaultConfig()) }, nil)
 		cycles += res.Cycles
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")

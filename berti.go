@@ -124,7 +124,7 @@ func Simulate(opts Options) (*Report, error) {
 		scale.SimInstr = opts.Instructions
 	}
 	h := harness.New(scale)
-	res := h.Run(harness.RunSpec{
+	res, err := h.Run(harness.RunSpec{
 		Workload: opts.Workload,
 		Mix:      opts.Mix,
 		L1DPf:    opts.L1DPrefetcher,
@@ -132,6 +132,9 @@ func Simulate(opts Options) (*Report, error) {
 		DRAMCfg:  opts.DRAM,
 		Seed:     opts.Seed,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("berti: simulation failed: %w", err)
+	}
 
 	instr := res.Config.SimInstructions
 	rep := &Report{IPC: res.IPC()}
@@ -249,6 +252,13 @@ func RunExperiment(id string, w io.Writer, scale string) error {
 	default:
 		return fmt.Errorf("berti: unknown scale %q", scale)
 	}
-	e.Run(harness.New(s), w)
+	h := harness.New(s)
+	e.Run(h, w)
+	if fails := h.Failures(); len(fails) > 0 {
+		// The report was still rendered from the surviving runs; surface
+		// the failures so callers do not mistake it for a clean artifact.
+		return fmt.Errorf("berti: experiment %s finished with %d failed run(s): %w",
+			id, len(fails), fails[0])
+	}
 	return nil
 }

@@ -17,10 +17,20 @@
 // and writes Chrome trace_event JSON loadable in chrome://tracing or
 // Perfetto; -pprof serves net/http/pprof for profiling the simulator
 // itself. Simulation throughput (kinstr/s) is reported on stderr.
+//
+// Robustness: -check runs the invariant checker (MSHR leaks, queue bounds,
+// duplicate tags, ROB/TLB consistency) alongside the simulation;
+// -fault-plan kind[:key=value,...] injects deterministic faults (see
+// internal/fault) to exercise the checker and the error paths.
+//
+// Exit codes: 0 success; 1 runtime failure (I/O, stall, corrupt trace);
+// 2 usage error (unknown workload/prefetcher, bad flags, bad fault plan);
+// 3 invariant violations detected.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -30,13 +40,23 @@ import (
 	"time"
 
 	"github.com/bertisim/berti/internal/cache"
+	"github.com/bertisim/berti/internal/check"
 	"github.com/bertisim/berti/internal/energy"
+	"github.com/bertisim/berti/internal/fault"
 	"github.com/bertisim/berti/internal/harness"
 	"github.com/bertisim/berti/internal/obs"
 	"github.com/bertisim/berti/internal/prefetch"
 	"github.com/bertisim/berti/internal/sim"
 	"github.com/bertisim/berti/internal/trace"
 	"github.com/bertisim/berti/internal/workloads"
+)
+
+// Exit codes (see package comment).
+const (
+	exitOK         = 0
+	exitRunFailed  = 1
+	exitUsage      = 2
+	exitViolations = 3
 )
 
 func main() {
@@ -53,7 +73,22 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of structured events to this file")
 	traceBuf := flag.Int("trace-buf", 1<<16, "event-trace ring-buffer capacity (oldest events overwritten)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	checkFlag := flag.Bool("check", false, "run the invariant checker alongside the simulation")
+	faultSpec := flag.String("fault-plan", "", "inject deterministic faults: kind[:key=value,...] (kinds: corrupt-record, truncate, drop-fill, delay-fill, dup-line, pq-orphan)")
 	flag.Parse()
+
+	var faultPlan *fault.Plan
+	if *faultSpec != "" {
+		var err error
+		faultPlan, err = fault.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bertisim:", err)
+			os.Exit(exitUsage)
+		}
+	}
+	// A fault plan without -check would inject damage nothing looks for;
+	// checking is what makes the injection observable.
+	runChecked := *checkFlag || faultPlan != nil
 
 	if *list {
 		fmt.Println("workloads:")
@@ -112,21 +147,29 @@ func main() {
 	}
 	h := harness.New(scale)
 
+	var checker *check.Checker
+	if runChecked {
+		checker = check.New()
+	}
+
 	var res, base *sim.Result
+	var runErr, baseErr error
 	var elapsed time.Duration
 	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
+		data, err := os.ReadFile(*traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(exitRunFailed)
 		}
-		tr, err := trace.Decode(f)
-		f.Close()
+		if faultPlan != nil && faultPlan.TraceFault() {
+			data = faultPlan.MutateTrace(data, trace.MagicLen)
+		}
+		tr, err := trace.Decode(strings.NewReader(string(data)))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "decoding trace:", err)
-			os.Exit(1)
+			os.Exit(exitRunFailed)
 		}
-		run := func(l1, l2 string, o *obs.Observer) *sim.Result {
+		run := func(l1, l2 string, o *obs.Observer, ck *check.Checker, fp *fault.Plan) (*sim.Result, error) {
 			cfg := sim.DefaultConfig()
 			cfg.WarmupInstructions = scale.WarmupInstr
 			cfg.SimInstructions = scale.SimInstr
@@ -135,7 +178,7 @@ func main() {
 				e, ok := prefetch.ByName(l1)
 				if !ok {
 					fmt.Fprintf(os.Stderr, "unknown prefetcher %q\n", l1)
-					os.Exit(2)
+					os.Exit(exitUsage)
 				}
 				l1f = func() cache.Prefetcher { return e.New() }
 			}
@@ -143,33 +186,60 @@ func main() {
 				e, ok := prefetch.ByName(l2)
 				if !ok {
 					fmt.Fprintf(os.Stderr, "unknown prefetcher %q\n", l2)
-					os.Exit(2)
+					os.Exit(exitUsage)
 				}
 				l2f = func() cache.Prefetcher { return e.New() }
 			}
-			m := sim.New(cfg, []trace.Reader{trace.NewLoopReader(tr)}, l1f, l2f)
+			m, err := sim.New(cfg, []trace.Reader{trace.NewLoopReader(tr)}, l1f, l2f)
+			if err != nil {
+				return nil, err
+			}
 			m.SetObserver(o)
+			if ck != nil {
+				m.SetChecker(ck, 0, 0)
+			}
+			if fp != nil && !fp.TraceFault() {
+				m.SetFaultPlan(fp)
+			}
 			return m.Run()
 		}
 		start := time.Now()
-		res = run(*l1d, *l2, observer)
+		res, runErr = run(*l1d, *l2, observer, checker, faultPlan)
 		elapsed = time.Since(start)
-		base = run("ip-stride", "", nil)
+		if runErr == nil {
+			base, baseErr = run("ip-stride", "", nil, nil, nil)
+		}
 		*workload = *traceFile
 	} else {
 		if _, ok := workloads.ByName(*workload); !ok {
 			fmt.Fprintf(os.Stderr, "unknown workload %q (use -list)\n", *workload)
-			os.Exit(2)
+			os.Exit(exitUsage)
 		}
 		spec := harness.RunSpec{Workload: *workload, L1DPf: *l1d, L2Pf: *l2, DRAMCfg: *dramCfg}
 		start := time.Now()
-		if observer != nil {
-			res = h.RunObserved(spec, observer)
+		if observer != nil || checker != nil || faultPlan != nil {
+			res, runErr = h.RunWith(spec, harness.RunOptions{
+				Observer: observer, Checker: checker, Fault: faultPlan,
+			})
 		} else {
-			res = h.Run(spec)
+			res, runErr = h.Run(spec)
 		}
 		elapsed = time.Since(start)
-		base = h.Run(harness.RunSpec{Workload: *workload, L1DPf: "ip-stride", DRAMCfg: *dramCfg})
+		if runErr == nil {
+			base, baseErr = h.Run(harness.RunSpec{Workload: *workload, L1DPf: "ip-stride", DRAMCfg: *dramCfg})
+		}
+	}
+	if runErr != nil {
+		exitForError(runErr, checker)
+	}
+	if baseErr != nil {
+		fmt.Fprintln(os.Stderr, "bertisim: baseline run failed:", baseErr)
+		os.Exit(exitRunFailed)
+	}
+	if checker != nil {
+		// A checked run that produced violations returns them as runErr above,
+		// so reaching here means every invariant held.
+		fmt.Fprintln(os.Stderr, "check: all invariants held")
 	}
 
 	if elapsed > 0 {
@@ -215,6 +285,31 @@ func main() {
 		fmt.Printf("timeseries: %d intervals of %d instr (last: ipc=%.3f acc=%.3f)\n",
 			len(ts.Rows), ts.IntervalInstr, last.IPC, last.PfAccuracy)
 	}
+}
+
+// exitForError reports a failed run and exits with the code matching the
+// error class: invariant violations get their own code (and a listing of the
+// recorded violations) so scripts can distinguish "the simulator broke" from
+// "the simulator caught breakage".
+func exitForError(err error, checker *check.Checker) {
+	var ve *check.ViolationError
+	if errors.As(err, &ve) {
+		fmt.Fprintf(os.Stderr, "bertisim: %d invariant violation(s) detected\n", ve.Total)
+		for _, v := range ve.Violations {
+			fmt.Fprintln(os.Stderr, "  ", v.String())
+		}
+		if ve.Total > len(ve.Violations) {
+			fmt.Fprintf(os.Stderr, "   ... and %d more (raise check.Checker.MaxRecorded to keep them)\n",
+				ve.Total-len(ve.Violations))
+		}
+		os.Exit(exitViolations)
+	}
+	fmt.Fprintln(os.Stderr, "bertisim: run failed:", err)
+	if checker != nil && checker.Total() > 0 {
+		fmt.Fprintf(os.Stderr, "bertisim: %d invariant violation(s) were also recorded before the failure\n",
+			checker.Total())
+	}
+	os.Exit(exitRunFailed)
 }
 
 // ensureWritable verifies an output path can be created, exiting early with

@@ -23,6 +23,7 @@ func main() {
 	runIDs := flag.String("run", "", "comma-separated experiment IDs to run")
 	all := flag.Bool("all", false, "run every experiment")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
+	checkFlag := flag.Bool("check", false, "run the invariant checker on every simulation")
 	flag.Parse()
 
 	if *list {
@@ -54,12 +55,25 @@ func main() {
 	if *workers > 0 {
 		h.Workers = *workers
 	}
+	h.EnableChecks = *checkFlag
 	fmt.Printf("scale=%s (%d mem records, %d warmup, %d measured instructions)\n\n",
 		h.Scale.Name, h.Scale.MemRecords, h.Scale.WarmupInstr, h.Scale.SimInstr)
+	failed := 0
 	for _, e := range selected {
 		start := time.Now()
 		fmt.Printf("--- %s (%s) ---\n", e.ID, e.Paper)
+		before := len(h.Failures())
 		e.Run(h, os.Stdout)
 		fmt.Printf("[%s took %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		// Experiments render from the surviving runs; report what was lost
+		// so a partially-failed artifact is never mistaken for a clean one.
+		for _, f := range h.Failures()[before:] {
+			failed++
+			fmt.Fprintf(os.Stderr, "experiments: %s: run failed: %v\n", e.ID, f)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d run(s) failed; reports above may be partial\n", failed)
+		os.Exit(1)
 	}
 }

@@ -43,8 +43,8 @@ func main() {
 			panic(workload)
 		}
 		tr := w.Gen(workloads.GenConfig{MemRecords: 200_000, Seed: 42})
-		m := sim.New(cfg, []trace.Reader{trace.NewLoopReader(tr)}, pf, nil)
-		return m.Run()
+		m := sim.MustNew(cfg, []trace.Reader{trace.NewLoopReader(tr)}, pf, nil)
+		return sim.MustRun(m)
 	}
 
 	fmt.Printf("%-12s %10s %10s %10s %10s\n", "kernel", "ip-stride", "ipcp", "berti", "berti-acc")

@@ -9,6 +9,7 @@ package cache
 import (
 	"fmt"
 
+	"github.com/bertisim/berti/internal/check"
 	"github.com/bertisim/berti/internal/obs"
 	"github.com/bertisim/berti/internal/stats"
 )
@@ -142,7 +143,65 @@ type Config struct {
 }
 
 // Sets returns the number of sets implied by the geometry.
-func (c Config) Sets() int { return c.SizeBytes / LineSize / c.Ways }
+func (c Config) Sets() int {
+	if c.Ways <= 0 {
+		return 0
+	}
+	return c.SizeBytes / LineSize / c.Ways
+}
+
+// ConfigError reports an invalid cache configuration.
+type ConfigError struct {
+	// Name is the cache level's configured name ("L1D", "L2.0", ...).
+	Name string
+	// Field names the offending parameter.
+	Field string
+	// Reason describes the constraint that failed.
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("cache %s: invalid %s: %s", e.Name, e.Field, e.Reason)
+}
+
+// Validate checks the configuration's internal consistency. It returns a
+// *ConfigError describing the first violated constraint, or nil.
+func (c Config) Validate() error {
+	bad := func(field, format string, args ...interface{}) error {
+		return &ConfigError{Name: c.Name, Field: field, Reason: fmt.Sprintf(format, args...)}
+	}
+	if c.Ways <= 0 {
+		return bad("Ways", "must be >= 1, got %d", c.Ways)
+	}
+	if c.SizeBytes <= 0 {
+		return bad("SizeBytes", "must be >= 1, got %d", c.SizeBytes)
+	}
+	sets := c.Sets()
+	if sets <= 0 || sets*c.Ways*LineSize != c.SizeBytes {
+		return bad("SizeBytes", "geometry size=%d ways=%d does not divide into whole sets of %d-byte lines",
+			c.SizeBytes, c.Ways, LineSize)
+	}
+	if c.MSHRs <= 0 {
+		return bad("MSHRs", "must be >= 1, got %d", c.MSHRs)
+	}
+	if c.RQSize <= 0 {
+		return bad("RQSize", "must be >= 1, got %d", c.RQSize)
+	}
+	if c.WQSize <= 0 {
+		return bad("WQSize", "must be >= 1, got %d", c.WQSize)
+	}
+	if c.PQSize < 0 {
+		return bad("PQSize", "must be >= 0, got %d", c.PQSize)
+	}
+	if c.ReadPorts <= 0 {
+		return bad("ReadPorts", "must be >= 1, got %d", c.ReadPorts)
+	}
+	if c.WritePorts <= 0 {
+		return bad("WritePorts", "must be >= 1, got %d", c.WritePorts)
+	}
+	return nil
+}
 
 // line is one cache line's metadata.
 type line struct {
@@ -292,26 +351,40 @@ type Cache struct {
 	// tr is the structured event tracer (nil = tracing disabled; every
 	// emission is guarded by a nil check so the disabled path is free).
 	tr *obs.Tracer
+	// fh is the fault-injection hook (nil = disabled; consulted once per
+	// arriving fill response).
+	fh FaultHook
 	// trigIP is the IP of the access currently driving the prefetcher
 	// (event attribution for prefetch issues; 0 outside firePrefetcher).
 	trigIP uint64
 }
 
-// New builds a cache level. lower may be nil only in unit tests.
-func New(cfg Config, lower Lower) *Cache {
-	sets := cfg.Sets()
-	if sets <= 0 || sets*cfg.Ways*LineSize != cfg.SizeBytes {
-		panic(fmt.Sprintf("cache %s: bad geometry size=%d ways=%d", cfg.Name, cfg.SizeBytes, cfg.Ways))
+// New builds a cache level, validating cfg first. lower may be nil only in
+// unit tests.
+func New(cfg Config, lower Lower) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	c := &Cache{
 		cfg:   cfg,
-		sets:  sets,
-		lines: make([]line, sets*cfg.Ways),
+		sets:  cfg.Sets(),
+		lines: make([]line, cfg.Sets()*cfg.Ways),
 		lower: lower,
 		xlat:  identityXlat{},
 		mshrs: make([]mshr, cfg.MSHRs),
 	}
 	c.Stats.Name = cfg.Name
+	return c, nil
+}
+
+// MustNew builds a cache level from a configuration known to be valid
+// (tests, compiled-in defaults). It panics on an invalid cfg; user-supplied
+// configurations must go through New.
+func MustNew(cfg Config, lower Lower) *Cache {
+	c, err := New(cfg, lower)
+	if err != nil {
+		panic(err)
+	}
 	return c
 }
 
@@ -326,6 +399,17 @@ func (c *Cache) SetTranslator(t Translator) { c.xlat = t }
 
 // SetTracer attaches a structured event tracer (nil disables tracing).
 func (c *Cache) SetTracer(t *obs.Tracer) { c.tr = t }
+
+// FaultHook is the fault-injection interface (implemented by
+// fault.FillInjector). It is consulted once per fill response arriving
+// from the lower level: drop swallows the completion (the MSHR entry
+// leaks), delay postpones data-ready by the returned cycles.
+type FaultHook interface {
+	FillFault(lineAddr uint64, isPrefetch bool, cycle uint64) (drop bool, delay uint64)
+}
+
+// SetFaultHook attaches a fault injector (nil disables injection).
+func (c *Cache) SetFaultHook(h FaultHook) { c.fh = h }
 
 // emit records one trace event; lvl is derived from the cache's level.
 func (c *Cache) emit(cycle uint64, kind obs.EventKind, addr, ip uint64) {
@@ -650,6 +734,40 @@ func (c *Cache) fill(m *mshr, cycle uint64) {
 	install := c.cfg.Level >= m.fillLevel || !m.isPrefetch || m.demandMerged
 	latency := cycle - m.issueCycle
 	if install {
+		// A writeback from above may have installed the line while this
+		// miss was in flight (processWrites probes, but fills used not
+		// to); installing again would leave the same tag valid in two
+		// ways. Update the resident copy in place instead.
+		if l := c.probe(m.lineAddr); l != nil {
+			c.touch(l)
+			if m.isStore && (!m.isPrefetch || m.demandMerged) {
+				l.dirty = true
+			}
+			c.Stats.TotalFills++
+			if m.isPrefetch {
+				c.Stats.PrefFills++
+				if c.tr != nil {
+					c.emit(cycle, obs.EvPrefetchFill, m.lineAddr, m.ip)
+				}
+			}
+			if c.pf != nil {
+				c.pf.OnFill(FillEvent{
+					Cycle:      cycle,
+					IP:         m.ip,
+					LineAddr:   c.trainAddr(m.vline, m.lineAddr),
+					PLineAddr:  m.lineAddr,
+					Latency:    latency,
+					ByPrefetch: m.isPrefetch && !m.demandMerged,
+				})
+			}
+			if !m.isPrefetch || m.demandMerged {
+				c.Stats.RecordFillLatency(latency)
+			}
+			for _, w := range m.waiters {
+				w(cycle)
+			}
+			return
+		}
 		v := c.victim(m.lineAddr)
 		var evAddr uint64
 		var evPf bool
@@ -960,10 +1078,19 @@ func (c *Cache) forwardDown(m *mshr, cycle uint64) {
 		notBefore:  cycle,
 		OnDone: func(done uint64) {
 			// Locate the entry again: the MSHR array is stable.
-			if mm := c.findMSHR(lineAddr); mm != nil {
-				mm.dataReady = true
-				mm.readyCycle = done
+			mm := c.findMSHR(lineAddr)
+			if mm == nil {
+				return
 			}
+			if c.fh != nil {
+				drop, delay := c.fh.FillFault(lineAddr, mm.isPrefetch, done)
+				if drop {
+					return // swallowed: the MSHR entry leaks
+				}
+				done += delay
+			}
+			mm.dataReady = true
+			mm.readyCycle = done
 		},
 	}
 	c.sendQ = append(c.sendQ, req)
@@ -1096,4 +1223,118 @@ func (c *Cache) ResetStats() {
 	c.Stats = stats.CacheStats{Name: name}
 	c.TrafficDown = 0
 	c.WBDown = 0
+}
+
+// QueueSnapshot captures one level's queue and MSHR occupancy (engine
+// stall reports and invariant checking).
+type QueueSnapshot struct {
+	Name  string `json:"name"`
+	MSHR  int    `json:"mshr"`
+	RQ    int    `json:"rq"`
+	WQ    int    `json:"wq"`
+	PQ    int    `json:"pq"`
+	SendQ int    `json:"sendq"`
+}
+
+// Queues returns the current occupancy snapshot.
+func (c *Cache) Queues() QueueSnapshot {
+	return QueueSnapshot{
+		Name:  c.cfg.Name,
+		MSHR:  c.MSHROccupancy(),
+		RQ:    len(c.rq),
+		WQ:    len(c.wq),
+		PQ:    len(c.pq),
+		SendQ: len(c.sendQ),
+	}
+}
+
+// CheckInvariants walks the level's state and reports every breached
+// invariant: queue occupancy beyond configured bounds, duplicate tags
+// within a set, lines resident in the wrong set, duplicate MSHR entries,
+// and MSHR entries in flight longer than mshrStuckAfter cycles (a leaked
+// fill — nothing will ever complete them). It never mutates state.
+func (c *Cache) CheckInvariants(cycle, mshrStuckAfter uint64, report func(check.Violation)) {
+	name := c.cfg.Name
+	if len(c.rq) > c.cfg.RQSize {
+		report(check.Violation{Rule: check.RuleQueueBound, Component: name, Cycle: cycle,
+			Detail: fmt.Sprintf("RQ holds %d entries, capacity %d", len(c.rq), c.cfg.RQSize)})
+	}
+	if len(c.wq) > c.cfg.WQSize {
+		report(check.Violation{Rule: check.RuleQueueBound, Component: name, Cycle: cycle,
+			Detail: fmt.Sprintf("WQ holds %d entries, capacity %d", len(c.wq), c.cfg.WQSize)})
+	}
+	if len(c.pq) > c.cfg.PQSize {
+		report(check.Violation{Rule: check.RuleQueueBound, Component: name, Cycle: cycle,
+			Detail: fmt.Sprintf("PQ holds %d entries, capacity %d", len(c.pq), c.cfg.PQSize)})
+	}
+	for s := 0; s < c.sets; s++ {
+		set := c.lines[s*c.cfg.Ways : (s+1)*c.cfg.Ways]
+		for i := range set {
+			if !set[i].valid {
+				continue
+			}
+			if home := int(set[i].addr % uint64(c.sets)); home != s {
+				report(check.Violation{Rule: check.RuleSetMap, Component: name, Cycle: cycle,
+					Detail: fmt.Sprintf("line %#x resident in set %d, maps to set %d", set[i].addr, s, home)})
+			}
+			for j := i + 1; j < len(set); j++ {
+				if set[j].valid && set[j].addr == set[i].addr {
+					report(check.Violation{Rule: check.RuleDupTag, Component: name, Cycle: cycle,
+						Detail: fmt.Sprintf("line %#x present in ways %d and %d of set %d", set[i].addr, i, j, s)})
+				}
+			}
+		}
+	}
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if !m.valid {
+			continue
+		}
+		// Stuck means still incomplete long past issue: either the fill
+		// response never arrived (dataReady false — a dropped fill) or it
+		// carries an implausibly distant ready cycle (a delayed fill).
+		pending := !m.dataReady || m.readyCycle > cycle
+		if mshrStuckAfter > 0 && pending && cycle > m.issueCycle && cycle-m.issueCycle > mshrStuckAfter {
+			report(check.Violation{Rule: check.RuleMSHRStuck, Component: name, Cycle: cycle,
+				Detail: fmt.Sprintf("MSHR %d line %#x in flight for %d cycles (prefetch=%v)",
+					i, m.lineAddr, cycle-m.issueCycle, m.isPrefetch)})
+		}
+		for j := i + 1; j < len(c.mshrs); j++ {
+			if c.mshrs[j].valid && c.mshrs[j].lineAddr == m.lineAddr {
+				report(check.Violation{Rule: check.RuleMSHRDup, Component: name, Cycle: cycle,
+					Detail: fmt.Sprintf("MSHRs %d and %d both track line %#x", i, j, m.lineAddr)})
+			}
+		}
+	}
+}
+
+// CorruptDuplicateTag copies a valid line into another way of its own set,
+// leaving two ways with the same tag — deliberate damage used by the
+// dup-line fault plan to prove the checker catches real state corruption.
+// Returns false when no set has both a valid line and a second way.
+func (c *Cache) CorruptDuplicateTag() bool {
+	if c.cfg.Ways < 2 {
+		return false
+	}
+	for s := 0; s < c.sets; s++ {
+		set := c.lines[s*c.cfg.Ways : (s+1)*c.cfg.Ways]
+		for i := range set {
+			if set[i].valid {
+				j := (i + 1) % len(set)
+				set[j] = set[i]
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CorruptPQOrphans appends n orphan entries to the prefetch queue beyond
+// its configured bound — deliberate damage used by the pq-orphan fault
+// plan. The entries target line 0 with notBefore in the far future so they
+// are never serviced and the overflow persists for the checker to find.
+func (c *Cache) CorruptPQOrphans(n int) {
+	for len(c.pq) < c.cfg.PQSize+n {
+		c.pq = append(c.pq, pqEntry{notBefore: ^uint64(0)})
+	}
 }

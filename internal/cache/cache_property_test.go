@@ -17,7 +17,7 @@ func TestRandomTrafficInvariants(t *testing.T) {
 			f := &fakeLower{delay: uint64(5 + rng.Intn(60))}
 			cfg := testConfig()
 			cfg.Repl = []ReplPolicy{LRU, FIFO, SRRIP, DRRIP}[seed%4]
-			c := New(cfg, f)
+			c := MustNew(cfg, f)
 
 			outstanding := 0
 			issued := 0
@@ -66,7 +66,7 @@ func TestRandomTrafficInvariants(t *testing.T) {
 // TestFillInstallsAtMostOneCopy checks the set never holds duplicate tags.
 func TestFillInstallsAtMostOneCopy(t *testing.T) {
 	f := &fakeLower{delay: 7}
-	c := New(testConfig(), f)
+	c := MustNew(testConfig(), f)
 	rng := rand.New(rand.NewSource(42))
 	for cyc := uint64(0); cyc < 4000; cyc++ {
 		f.tick(cyc)
@@ -96,7 +96,7 @@ func TestDRRIPLeaderSetsExist(t *testing.T) {
 	cfg := testConfig()
 	cfg.Repl = DRRIP
 	cfg.SizeBytes = 64 * 4 * LineSize // 64 sets x 4 ways
-	c := New(cfg, &fakeLower{delay: 1})
+	c := MustNew(cfg, &fakeLower{delay: 1})
 	srrip, brrip := 0, 0
 	for s := 0; s < c.sets; s++ {
 		switch c.duelKind(s) {
@@ -118,7 +118,7 @@ type denyXlat struct{}
 func (denyXlat) TranslatePrefetchLine(uint64) (uint64, uint64, bool) { return 0, 0, false }
 
 func TestTranslatorDropBlocksPrefetch(t *testing.T) {
-	c := New(testConfig(), &fakeLower{delay: 1})
+	c := MustNew(testConfig(), &fakeLower{delay: 1})
 	c.SetTranslator(denyXlat{})
 	c.EnqueuePrefetches([]PrefetchReq{{LineAddr: 1, FillLevel: L1D}}, 0, 0)
 	if c.Stats.PrefIssued != 0 || c.Stats.PrefDropped != 1 {
@@ -128,7 +128,7 @@ func TestTranslatorDropBlocksPrefetch(t *testing.T) {
 
 // TestCrossPageCounter verifies the cross-page statistic fires.
 func TestCrossPageCounter(t *testing.T) {
-	c := New(testConfig(), &fakeLower{delay: 1})
+	c := MustNew(testConfig(), &fakeLower{delay: 1})
 	// Trigger page 2 (lines 128..191); target line 200 is page 3.
 	c.EnqueuePrefetches([]PrefetchReq{{LineAddr: 200, FillLevel: L1D}}, 0, 2)
 	if c.Stats.PrefCrossPg != 1 {

@@ -2,6 +2,8 @@ package cache
 
 import (
 	"testing"
+
+	"github.com/bertisim/berti/internal/check"
 )
 
 // fakeLower is a scriptable backing store: it responds to reads after a
@@ -75,7 +77,7 @@ func runCache(c *Cache, f *fakeLower, from, n uint64) uint64 {
 
 func TestMissThenHit(t *testing.T) {
 	f := &fakeLower{delay: 10}
-	c := New(testConfig(), f)
+	c := MustNew(testConfig(), f)
 	var done uint64
 	c.AcceptDemand(&Req{LineAddr: 100, OnDone: func(cyc uint64) { done = cyc }}, 0)
 	runCache(c, f, 0, 30)
@@ -103,7 +105,7 @@ func TestMissThenHit(t *testing.T) {
 
 func TestRQLoadCombining(t *testing.T) {
 	f := &fakeLower{delay: 20}
-	c := New(testConfig(), f)
+	c := MustNew(testConfig(), f)
 	calls := 0
 	for i := 0; i < 4; i++ {
 		c.AcceptDemand(&Req{LineAddr: 7, OnDone: func(uint64) { calls++ }}, 0)
@@ -123,7 +125,7 @@ func TestRQLoadCombining(t *testing.T) {
 
 func TestMSHRMergeCountsOnce(t *testing.T) {
 	f := &fakeLower{delay: 30}
-	c := New(testConfig(), f)
+	c := MustNew(testConfig(), f)
 	c.AcceptDemand(&Req{LineAddr: 9, OnDone: func(uint64) {}}, 0)
 	runCache(c, f, 0, 3) // primary miss issued, in MSHR now
 	c.AcceptDemand(&Req{LineAddr: 9, OnDone: func(uint64) {}}, 3)
@@ -140,7 +142,7 @@ func TestMSHRFullStalls(t *testing.T) {
 	f := &fakeLower{delay: 1000}
 	cfg := testConfig()
 	cfg.MSHRs = 2
-	c := New(cfg, f)
+	c := MustNew(cfg, f)
 	for i := uint64(0); i < 4; i++ {
 		c.AcceptDemand(&Req{LineAddr: 100 + i, OnDone: func(uint64) {}}, 0)
 	}
@@ -158,7 +160,7 @@ func TestStoreDirtiesAndWritesBack(t *testing.T) {
 	cfg := testConfig()
 	cfg.SizeBytes = 4 * LineSize // tiny: 1 set x 4 ways
 	cfg.Ways = 4
-	c := New(cfg, f)
+	c := MustNew(cfg, f)
 	c.AcceptDemand(&Req{LineAddr: 1, Store: true, OnDone: func(uint64) {}}, 0)
 	runCache(c, f, 0, 20)
 	if !c.Contains(1) {
@@ -184,7 +186,7 @@ func TestWritebackInstallsNonInclusive(t *testing.T) {
 	f := &fakeLower{delay: 5}
 	cfg := testConfig()
 	cfg.Level = L2
-	c := New(cfg, f)
+	c := MustNew(cfg, f)
 	if !c.AcceptWrite(&Req{LineAddr: 55, Store: true}, 0) {
 		t.Fatal("writeback refused")
 	}
@@ -215,7 +217,7 @@ func (p *fixedPf) OnFill(ev FillEvent) { p.fills = append(p.fills, ev) }
 
 func TestPrefetchFillAndUsefulHit(t *testing.T) {
 	f := &fakeLower{delay: 10}
-	c := New(testConfig(), f)
+	c := MustNew(testConfig(), f)
 	pf := &fixedPf{target: 200, level: L1D}
 	c.SetPrefetcher(pf)
 	// A demand miss triggers the prefetch of line 200.
@@ -242,7 +244,7 @@ func TestPrefetchFillAndUsefulHit(t *testing.T) {
 
 func TestLatePrefetchMergesAndPromotes(t *testing.T) {
 	f := &fakeLower{delay: 50}
-	c := New(testConfig(), f)
+	c := MustNew(testConfig(), f)
 	pf := &fixedPf{target: 300, level: L1D}
 	c.SetPrefetcher(pf)
 	c.AcceptDemand(&Req{LineAddr: 100, OnDone: func(uint64) {}}, 0)
@@ -270,7 +272,7 @@ func TestLatePrefetchMergesAndPromotes(t *testing.T) {
 
 func TestPrefetchFillBelowDoesNotInstall(t *testing.T) {
 	f := &fakeLower{delay: 5}
-	c := New(testConfig(), f) // level L1D
+	c := MustNew(testConfig(), f) // level L1D
 	pf := &fixedPf{target: 400, level: L2}
 	c.SetPrefetcher(pf)
 	c.AcceptDemand(&Req{LineAddr: 100, OnDone: func(uint64) {}}, 0)
@@ -292,7 +294,7 @@ func TestPrefetchFillBelowDoesNotInstall(t *testing.T) {
 
 func TestPrefetchDedup(t *testing.T) {
 	f := &fakeLower{delay: 5}
-	c := New(testConfig(), f)
+	c := MustNew(testConfig(), f)
 	c.EnqueuePrefetches([]PrefetchReq{{LineAddr: 500, FillLevel: L1D}}, 0, 0)
 	c.EnqueuePrefetches([]PrefetchReq{{LineAddr: 500, FillLevel: L1D}}, 0, 0)
 	if c.Stats.PrefIssued != 1 || c.Stats.PrefDropped != 1 {
@@ -312,7 +314,7 @@ func TestPQCapacityDrops(t *testing.T) {
 	f := &fakeLower{delay: 1000}
 	cfg := testConfig()
 	cfg.PQSize = 2
-	c := New(cfg, f)
+	c := MustNew(cfg, f)
 	var reqs []PrefetchReq
 	for i := uint64(0); i < 5; i++ {
 		reqs = append(reqs, PrefetchReq{LineAddr: 600 + i, FillLevel: L1D})
@@ -329,7 +331,7 @@ func TestDemandPriorityInRQ(t *testing.T) {
 	cfg := testConfig()
 	cfg.Level = L2
 	cfg.ReadPorts = 1
-	c := New(cfg, f)
+	c := MustNew(cfg, f)
 	var pfDone, demDone uint64
 	// Prefetch read (with response) enqueued first, demand second.
 	c.AcceptRead(&Req{LineAddr: 1, IsPrefetch: true, FillLevel: L1D,
@@ -350,7 +352,7 @@ func TestSRRIPVictimSelection(t *testing.T) {
 	cfg.SizeBytes = 4 * LineSize
 	cfg.Ways = 4
 	f := &fakeLower{delay: 1}
-	c := New(cfg, f)
+	c := MustNew(cfg, f)
 	for i := uint64(1); i <= 4; i++ {
 		c.AcceptDemand(&Req{LineAddr: i, OnDone: func(uint64) {}}, 0)
 	}
@@ -369,7 +371,7 @@ func TestSRRIPVictimSelection(t *testing.T) {
 
 func TestResetStatsKeepsContents(t *testing.T) {
 	f := &fakeLower{delay: 5}
-	c := New(testConfig(), f)
+	c := MustNew(testConfig(), f)
 	c.AcceptDemand(&Req{LineAddr: 77, OnDone: func(uint64) {}}, 0)
 	runCache(c, f, 0, 20)
 	c.ResetStats()
@@ -383,7 +385,7 @@ func TestResetStatsKeepsContents(t *testing.T) {
 
 func TestDrained(t *testing.T) {
 	f := &fakeLower{delay: 5}
-	c := New(testConfig(), f)
+	c := MustNew(testConfig(), f)
 	if !c.Drained() {
 		t.Fatal("fresh cache should be drained")
 	}
@@ -401,5 +403,98 @@ func TestConfigSets(t *testing.T) {
 	cfg := testConfig()
 	if cfg.Sets() != 8*1024/LineSize/4 {
 		t.Fatalf("sets = %d", cfg.Sets())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("test config must validate: %v", err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+		field  string
+	}{
+		{"ways", func(c *Config) { c.Ways = 0 }, "Ways"},
+		{"size", func(c *Config) { c.SizeBytes = 0 }, "SizeBytes"},
+		{"geometry", func(c *Config) { c.SizeBytes = 1000 }, "SizeBytes"},
+		{"mshrs", func(c *Config) { c.MSHRs = 0 }, "MSHRs"},
+		{"rq", func(c *Config) { c.RQSize = 0 }, "RQSize"},
+		{"wq", func(c *Config) { c.WQSize = -1 }, "WQSize"},
+		{"pq", func(c *Config) { c.PQSize = -1 }, "PQSize"},
+		{"read ports", func(c *Config) { c.ReadPorts = 0 }, "ReadPorts"},
+		{"write ports", func(c *Config) { c.WritePorts = 0 }, "WritePorts"},
+	} {
+		cfg := testConfig()
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		ce, ok := err.(*ConfigError)
+		if !ok || ce.Field != tc.field {
+			t.Fatalf("%s: got %v, want *ConfigError on %s", tc.name, err, tc.field)
+		}
+		if ce.Name != "T" {
+			t.Fatalf("%s: error must carry the cache name, got %q", tc.name, ce.Name)
+		}
+		if _, err := New(cfg, &fakeLower{}); err == nil {
+			t.Fatalf("%s: New must reject what Validate rejects", tc.name)
+		}
+	}
+}
+
+// TestCheckInvariantsCleanAndCorrupt: a healthy cache reports nothing; the
+// deliberate corruption helpers must each trip their matching rule.
+func TestCheckInvariantsCleanAndCorrupt(t *testing.T) {
+	f := &fakeLower{delay: 2}
+	c := MustNew(testConfig(), f)
+	cyc := uint64(0)
+	for i := uint64(0); i < 32; i++ {
+		c.AcceptDemand(&Req{LineAddr: i * 3, VLineAddr: i * 3, IP: 0x40}, cyc)
+		cyc = runCache(c, f, cyc, 6)
+	}
+	rules := func() map[string]int {
+		got := map[string]int{}
+		c.CheckInvariants(cyc, 1_000, func(v check.Violation) { got[v.Rule]++ })
+		return got
+	}
+	if got := rules(); len(got) != 0 {
+		t.Fatalf("healthy cache reported violations: %v", got)
+	}
+	if !c.CorruptDuplicateTag() {
+		t.Fatal("corruption helper found no line to duplicate")
+	}
+	if got := rules(); got[check.RuleDupTag] == 0 {
+		t.Fatalf("duplicated tag not flagged: %v", got)
+	}
+	c.CorruptPQOrphans(2)
+	if got := rules(); got[check.RuleQueueBound] == 0 {
+		t.Fatalf("overfull PQ not flagged: %v", got)
+	}
+}
+
+// TestFillDoesNotDuplicateResidentLine pins a bug the invariant checker
+// found: a writeback from the level above could install a line while a
+// miss for the same line was still in flight, and the later fill would
+// install a second copy in another way (dup-tag). The fill must update
+// the resident copy in place.
+func TestFillDoesNotDuplicateResidentLine(t *testing.T) {
+	f := &fakeLower{delay: 30}
+	c := MustNew(testConfig(), f)
+	c.AcceptDemand(&Req{LineAddr: 500, OnDone: func(uint64) {}}, 0)
+	runCache(c, f, 0, 5) // miss issued; the MSHR is in flight
+	if !c.AcceptWrite(&Req{LineAddr: 500, Store: true}, 5) {
+		t.Fatal("writeback refused")
+	}
+	runCache(c, f, 5, 60) // writeback installs, then the fill arrives
+
+	ck := check.New()
+	c.CheckInvariants(70, 0, ck.Report)
+	if ck.Total() != 0 {
+		for _, v := range ck.Violations() {
+			t.Errorf("violation: %s", v.String())
+		}
+		t.Fatalf("fill over a resident line broke %d invariant(s)", ck.Total())
+	}
+	if !c.Contains(500) {
+		t.Fatal("line must stay resident")
 	}
 }

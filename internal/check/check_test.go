@@ -1,0 +1,52 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckerCountsAndCaps(t *testing.T) {
+	c := New()
+	c.MaxRecorded = 3
+	if c.Err() != nil {
+		t.Fatal("empty checker must have nil Err")
+	}
+	for i := 0; i < 10; i++ {
+		c.Reportf(RuleDupTag, "L1D.0", uint64(i), "dup %d", i)
+	}
+	c.Report(Violation{Rule: RuleMSHRStuck, Component: "L2.0", Cycle: 99, Detail: "stuck"})
+	if c.Total() != 11 {
+		t.Fatalf("Total = %d, want 11", c.Total())
+	}
+	if len(c.Violations()) != 3 {
+		t.Fatalf("recorded %d violations, want MaxRecorded=3", len(c.Violations()))
+	}
+	if c.CountByRule(RuleDupTag) != 10 || c.CountByRule(RuleMSHRStuck) != 1 {
+		t.Fatalf("per-rule counts wrong: %d/%d",
+			c.CountByRule(RuleDupTag), c.CountByRule(RuleMSHRStuck))
+	}
+	if c.CountByRule(RuleTLBDup) != 0 {
+		t.Fatal("unreported rule must count 0")
+	}
+}
+
+func TestViolationErrorFormatting(t *testing.T) {
+	c := New()
+	for i := 0; i < 5; i++ {
+		c.Reportf(RuleQueueBound, "L1D.0", 42, "pq %d", i)
+	}
+	err := c.Err()
+	ve, ok := err.(*ViolationError)
+	if !ok {
+		t.Fatalf("Err() = %T, want *ViolationError", err)
+	}
+	if ve.Total != 5 {
+		t.Fatalf("Total = %d", ve.Total)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "5 invariant violation(s)") ||
+		!strings.Contains(msg, "(2 more)") ||
+		!strings.Contains(msg, "[queue-bound] L1D.0 at cycle 42") {
+		t.Fatalf("message lacks summary/truncation/detail: %q", msg)
+	}
+}

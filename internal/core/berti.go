@@ -181,10 +181,57 @@ type deltaCand struct {
 	seq   uint64
 }
 
-// New builds a Berti prefetcher with cfg.
+// ConfigError reports an invalid Berti configuration.
+type ConfigError struct {
+	// Field names the offending parameter.
+	Field string
+	// Reason describes the constraint that failed.
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("core: invalid Berti config %s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the configuration's internal consistency. It returns a
+// *ConfigError describing the first violated constraint, or nil. Callers
+// constructing Berti from user-supplied parameters must validate before
+// calling New (which panics on geometry it cannot build).
+func (c Config) Validate() error {
+	bad := func(field string, got int) error {
+		return &ConfigError{Field: field, Reason: fmt.Sprintf("must be >= 1, got %d", got)}
+	}
+	if c.HistorySets <= 0 {
+		return bad("HistorySets", c.HistorySets)
+	}
+	if c.HistoryWays <= 0 {
+		return bad("HistoryWays", c.HistoryWays)
+	}
+	if c.DeltaTableEntries <= 0 {
+		return bad("DeltaTableEntries", c.DeltaTableEntries)
+	}
+	if c.DeltasPerEntry <= 0 {
+		return bad("DeltasPerEntry", c.DeltasPerEntry)
+	}
+	if c.DeltaBits < 2 || c.DeltaBits > 32 {
+		return &ConfigError{Field: "DeltaBits", Reason: fmt.Sprintf("must be in [2,32], got %d", c.DeltaBits)}
+	}
+	if c.TimestampBits < 1 || c.TimestampBits > 63 {
+		return &ConfigError{Field: "TimestampBits", Reason: fmt.Sprintf("must be in [1,63], got %d", c.TimestampBits)}
+	}
+	if c.LineAddrBits < 1 || c.LineAddrBits > 63 {
+		return &ConfigError{Field: "LineAddrBits", Reason: fmt.Sprintf("must be in [1,63], got %d", c.LineAddrBits)}
+	}
+	return nil
+}
+
+// New builds a Berti prefetcher with cfg. It panics on an invalid
+// configuration; user-supplied configurations must be checked with
+// Config.Validate first (the factory call sites are no-error closures).
 func New(cfg Config) *Berti {
-	if cfg.HistorySets <= 0 || cfg.HistoryWays <= 0 || cfg.DeltaTableEntries <= 0 {
-		panic("core: invalid Berti config")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	b := &Berti{
 		cfg:      cfg,

@@ -296,3 +296,31 @@ func TestPerPageKeying(t *testing.T) {
 		}
 	}
 }
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config must validate: %v", err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+		field  string
+	}{
+		{"history sets", func(c *Config) { c.HistorySets = 0 }, "HistorySets"},
+		{"history ways", func(c *Config) { c.HistoryWays = -2 }, "HistoryWays"},
+		{"table entries", func(c *Config) { c.DeltaTableEntries = 0 }, "DeltaTableEntries"},
+		{"deltas per entry", func(c *Config) { c.DeltasPerEntry = 0 }, "DeltasPerEntry"},
+		{"delta bits low", func(c *Config) { c.DeltaBits = 1 }, "DeltaBits"},
+		{"delta bits high", func(c *Config) { c.DeltaBits = 33 }, "DeltaBits"},
+		{"timestamp bits", func(c *Config) { c.TimestampBits = 64 }, "TimestampBits"},
+		{"line addr bits", func(c *Config) { c.LineAddrBits = 0 }, "LineAddrBits"},
+	} {
+		cfg := DefaultConfig()
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		ce, ok := err.(*ConfigError)
+		if !ok || ce.Field != tc.field {
+			t.Fatalf("%s: got %v, want *ConfigError on %s", tc.name, err, tc.field)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	p, err := Parse("drop-fill:seed=7,rate=0.05,after=1000,param=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{Kind: DropFill, Seed: 7, Rate: 0.05, After: 1000, Param: 3}
+	if *p != want {
+		t.Fatalf("parsed %+v, want %+v", *p, want)
+	}
+	if p, err := Parse("truncate"); err != nil || p.Kind != TruncateTrace || p.Rate != 0.01 {
+		t.Fatalf("bare kind must parse with defaults: %+v, %v", p, err)
+	}
+	for _, bad := range []string{"", "no-such-kind", "drop-fill:rate=2", "drop-fill:rate",
+		"drop-fill:bogus=1", "drop-fill:seed=abc"} {
+		_, err := Parse(bad)
+		var pe *PlanError
+		if !errors.As(err, &pe) {
+			t.Fatalf("Parse(%q) = %v, want *PlanError", bad, err)
+		}
+	}
+}
+
+func TestTraceFaultClassification(t *testing.T) {
+	for _, k := range Kinds() {
+		p := &Plan{Kind: k}
+		want := k == CorruptRecord || k == TruncateTrace
+		if p.TraceFault() != want {
+			t.Fatalf("TraceFault(%s) = %v", k, p.TraceFault())
+		}
+	}
+}
+
+func TestMutateTraceDeterministicAndHeaderSafe(t *testing.T) {
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	p := &Plan{Kind: CorruptRecord, Seed: 3, Rate: 0.1}
+	a := p.MutateTrace(data, 8)
+	b := p.MutateTrace(data, 8)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same plan must damage the same bytes")
+	}
+	if bytes.Equal(a, data) {
+		t.Fatal("rate 0.1 over 248 bytes must flip something")
+	}
+	if !bytes.Equal(a[:8], data[:8]) {
+		t.Fatal("the header must never be damaged")
+	}
+	if !bytes.Equal(data, append([]byte(nil), data[:256]...)) {
+		t.Fatal("the input slice must not be mutated in place")
+	}
+	if other := (&Plan{Kind: CorruptRecord, Seed: 4, Rate: 0.1}).MutateTrace(data, 8); bytes.Equal(a, other) {
+		t.Fatal("different seeds must damage different bytes")
+	}
+}
+
+func TestMutateTraceTruncate(t *testing.T) {
+	data := make([]byte, 100)
+	p := &Plan{Kind: TruncateTrace}
+	if got := p.MutateTrace(data, 8); len(got) != 8+(100-8)/2 {
+		t.Fatalf("default truncation kept %d bytes", len(got))
+	}
+	p.Param = 20
+	if got := p.MutateTrace(data, 8); len(got) != 20 {
+		t.Fatalf("param truncation kept %d bytes, want 20", len(got))
+	}
+	p.Param = 1000
+	if got := p.MutateTrace(data, 8); len(got) != 100 {
+		t.Fatalf("oversized param must keep the whole stream, kept %d", len(got))
+	}
+	if got := (&Plan{Kind: DropFill}).MutateTrace(data, 8); !bytes.Equal(got, data) {
+		t.Fatal("non-trace kinds must return the data unchanged")
+	}
+}
+
+func TestFillInjector(t *testing.T) {
+	if NewFillInjector(&Plan{Kind: DupLine}) != nil || NewFillInjector(nil) != nil {
+		t.Fatal("injector must only exist for fill plans")
+	}
+	drop := NewFillInjector(&Plan{Kind: DropFill, Rate: 1, After: 2})
+	for i := uint64(0); i < 2; i++ {
+		if d, _ := drop.FillFault(0x100, true, i); d {
+			t.Fatal("faults before After must not fire")
+		}
+	}
+	if d, _ := drop.FillFault(0x100, false, 2); d {
+		t.Fatal("demand fills must never be dropped")
+	}
+	if d, _ := drop.FillFault(0x100, true, 3); !d {
+		t.Fatal("prefetch fill past After at rate 1 must drop")
+	}
+	if drop.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", drop.Dropped)
+	}
+
+	delay := NewFillInjector(&Plan{Kind: DelayFill, Rate: 1})
+	if _, d := delay.FillFault(0x200, false, 0); d != 4096 {
+		t.Fatalf("default delay = %d, want 4096", d)
+	}
+	delay2 := NewFillInjector(&Plan{Kind: DelayFill, Rate: 1, Param: 99})
+	if _, d := delay2.FillFault(0x200, false, 0); d != 99 {
+		t.Fatalf("param delay = %d, want 99", d)
+	}
+
+	// Determinism: two injectors over the same plan make identical calls.
+	a := NewFillInjector(&Plan{Kind: DropFill, Seed: 5, Rate: 0.5})
+	b := NewFillInjector(&Plan{Kind: DropFill, Seed: 5, Rate: 0.5})
+	for i := 0; i < 200; i++ {
+		da, _ := a.FillFault(uint64(i), true, uint64(i))
+		db, _ := b.FillFault(uint64(i), true, uint64(i))
+		if da != db {
+			t.Fatalf("injection diverged at opportunity %d", i)
+		}
+	}
+	if a.Dropped == 0 || a.Dropped == 200 {
+		t.Fatalf("rate 0.5 over 200 fills dropped %d — stream looks broken", a.Dropped)
+	}
+}

@@ -137,9 +137,9 @@ func runAblIdeal(h *Harness, w io.Writer) {
 		"workload", "berti", "ideal")
 	names := append(append([]string{}, CloudSuiteNames()...), SensitivitySubset()...)
 	for _, n := range names {
-		base := h.Run(baseSpec(n))
-		berti := h.Run(RunSpec{Workload: n, L1DPf: "berti"})
-		ideal := h.Run(RunSpec{Workload: n, L1DPf: "oracle"})
+		base := h.RunSafe(baseSpec(n))
+		berti := h.RunSafe(RunSpec{Workload: n, L1DPf: "berti"})
+		ideal := h.RunSafe(RunSpec{Workload: n, L1DPf: "oracle"})
 		t.AddRow(n, SpeedupOver(berti, base), SpeedupOver(ideal, base))
 	}
 	fmt.Fprintln(w, t)

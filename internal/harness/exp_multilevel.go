@@ -90,7 +90,7 @@ func runFig13(h *Harness, w io.Writer) {
 		for _, suite := range []string{"spec", "gap"} {
 			names := MemIntSuite(suite)
 			var l2, llc float64
-			for _, r := range h.RunMany(specsFor(names, c[0], c[1])) {
+			for _, r := range h.RunManySafe(specsFor(names, c[0], c[1])) {
 				instr := r.Config.SimInstructions
 				l2 += r.Cores[0].L2.MPKI(instr)
 				llc += r.LLC.MPKI(instr)
@@ -105,8 +105,8 @@ func runFig13(h *Harness, w io.Writer) {
 // trafficRatios returns (L2, LLC, DRAM) traffic normalized to no-prefetch.
 func (h *Harness) trafficRatios(names []string, l1, l2 string) (rl2, rllc, rdram float64) {
 	var tl2, tllc, tdram, bl2, bllc, bdram float64
-	results := h.RunMany(specsFor(names, l1, l2))
-	bases := h.RunMany(specsFor(names, "", ""))
+	results := h.RunManySafe(specsFor(names, l1, l2))
+	bases := h.RunManySafe(specsFor(names, "", ""))
 	for i := range results {
 		ta := results[i].Traffic()
 		tb := bases[i].Traffic()
@@ -222,10 +222,10 @@ func runFig18(h *Harness, w io.Writer) {
 	t := metrics.NewTable("Figure 18: CloudSuite-like speedup over IP-stride",
 		"workload", "mlop", "ipcp", "berti", "berti+spp-ppf")
 	for _, n := range names {
-		base := h.Run(baseSpec(n))
+		base := h.RunSafe(baseSpec(n))
 		row := []interface{}{n}
 		for _, c := range [][2]string{{"mlop", ""}, {"ipcp", ""}, {"berti", ""}, {"berti", "spp-ppf"}} {
-			r := h.Run(RunSpec{Workload: n, L1DPf: c[0], L2Pf: c[1]})
+			r := h.RunSafe(RunSpec{Workload: n, L1DPf: c[0], L2Pf: c[1]})
 			row = append(row, SpeedupOver(r, base))
 		}
 		t.AddRow(row...)
@@ -305,8 +305,8 @@ func runFig20(h *Harness, w io.Writer) {
 		}
 		var sps []float64
 		for mi, mix := range mixes {
-			r := h.Run(RunSpec{Mix: mix, L1DPf: c[0], L2Pf: c[1], Seed: int64(mi) * 16})
-			b := h.Run(RunSpec{Mix: mix, L1DPf: "ip-stride", Seed: int64(mi) * 16})
+			r := h.RunSafe(RunSpec{Mix: mix, L1DPf: c[0], L2Pf: c[1], Seed: int64(mi) * 16})
+			b := h.RunSafe(RunSpec{Mix: mix, L1DPf: "ip-stride", Seed: int64(mi) * 16})
 			var ripc, bipc []float64
 			for ci := range r.Cores {
 				ripc = append(ripc, r.Cores[ci].IPC)

@@ -79,7 +79,7 @@ func runFig1Accuracy(h *Harness, w io.Writer) {
 		for si, suite := range []string{"spec", "gap"} {
 			names := MemIntSuite(suite)
 			var num, den float64
-			results := h.RunMany(specsFor(names, c.l1, c.l2))
+			results := h.RunManySafe(specsFor(names, c.l1, c.l2))
 			for _, r := range results {
 				st := r.Cores[0].L1D
 				if c.level == "L2" {
@@ -118,8 +118,8 @@ func (h *Harness) energyRatio(names []string, l1, l2 string) float64 {
 		wg.Add(1)
 		go func(name string) {
 			defer wg.Done()
-			r := h.Run(RunSpec{Workload: name, L1DPf: l1, L2Pf: l2})
-			base := h.Run(RunSpec{Workload: name})
+			r := h.RunSafe(RunSpec{Workload: name, L1DPf: l1, L2Pf: l2})
+			base := h.RunSafe(RunSpec{Workload: name})
 			er := energy.Compute(model, r).Total()
 			eb := energy.Compute(model, base).Total()
 			if eb > 0 {
@@ -161,23 +161,34 @@ func runFig1Energy(h *Harness, w io.Writer) {
 // into a Berti and a BOP instance inside full simulations and dumps the
 // per-IP deltas vs. the single global offset.
 func runFig3(h *Harness, w io.Writer) {
-	tr := h.Trace("mcf_like_1554", 0)
+	tr, err := h.Trace("mcf_like_1554", 0)
+	if err != nil {
+		fmt.Fprintf(w, "Figure 3 failed: %v\n", err)
+		return
+	}
 	cfg := sim.DefaultConfig()
 	cfg.WarmupInstructions = h.Scale.WarmupInstr
 	cfg.SimInstructions = h.Scale.SimInstr
 
 	var berti *core.Berti
 	var bopPf *bop.Prefetcher
-	m := sim.New(cfg, []trace.Reader{trace.NewLoopReader(tr)}, func() cache.Prefetcher {
+	m := sim.MustNew(cfg, []trace.Reader{trace.NewLoopReader(tr)}, func() cache.Prefetcher {
 		berti = core.New(core.DefaultConfig())
 		return berti
 	}, nil)
-	m.Run()
-	m2 := sim.New(cfg, []trace.Reader{trace.NewLoopReader(tr)}, func() cache.Prefetcher {
+	if _, err := m.Run(); err != nil {
+		fmt.Fprintf(w, "Figure 3 failed (berti run): %v\n", err)
+		return
+	}
+	m2 := sim.MustNew(cfg, []trace.Reader{trace.NewLoopReader(tr)}, func() cache.Prefetcher {
 		bopPf = bop.New(bop.DefaultConfig())
 		return bopPf
 	}, nil)
-	res2 := m2.Run()
+	res2, err := m2.Run()
+	if err != nil {
+		fmt.Fprintf(w, "Figure 3 failed (bop run): %v\n", err)
+		return
+	}
 
 	fmt.Fprintf(w, "== Figure 3: local (per-IP) deltas vs a global delta on mcf-like ==\n")
 	fmt.Fprintf(w, "BOP global best offset: %+d (accuracy %.2f)\n",
@@ -264,10 +275,10 @@ func runFig9(h *Harness, w io.Writer) {
 	t := metrics.NewTable("Figure 9: per-workload speedup over IP-stride",
 		"workload", "mlop", "ipcp", "berti")
 	for _, n := range names {
-		base := h.Run(baseSpec(n))
+		base := h.RunSafe(baseSpec(n))
 		row := []interface{}{n}
 		for _, pf := range L1DPrefetchers {
-			r := h.Run(RunSpec{Workload: n, L1DPf: pf})
+			r := h.RunSafe(RunSpec{Workload: n, L1DPf: pf})
 			row = append(row, SpeedupOver(r, base))
 		}
 		t.AddRow(row...)
@@ -284,7 +295,7 @@ func runFig10(h *Harness, w io.Writer) {
 		for _, suite := range []string{"spec", "gap"} {
 			names := MemIntSuite(suite)
 			var useful, late, fills float64
-			for _, r := range h.RunMany(specsFor(names, pf, "")) {
+			for _, r := range h.RunManySafe(specsFor(names, pf, "")) {
 				st := r.Cores[0].L1D
 				useful += float64(st.PrefUseful)
 				late += float64(st.PrefLate)
@@ -312,7 +323,7 @@ func runFig11(h *Harness, w io.Writer) {
 		for _, suite := range []string{"spec", "gap"} {
 			names := MemIntSuite(suite)
 			var l1, l2, llc float64
-			for _, r := range h.RunMany(specsFor(names, pf, "")) {
+			for _, r := range h.RunManySafe(specsFor(names, pf, "")) {
 				instr := r.Config.SimInstructions
 				l1 += r.Cores[0].L1D.MPKI(instr)
 				l2 += r.Cores[0].L2.MPKI(instr)

@@ -5,14 +5,19 @@
 package harness
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/bertisim/berti/internal/cache"
+	"github.com/bertisim/berti/internal/check"
 	"github.com/bertisim/berti/internal/core"
 	"github.com/bertisim/berti/internal/dram"
+	"github.com/bertisim/berti/internal/fault"
 	"github.com/bertisim/berti/internal/metrics"
 	"github.com/bertisim/berti/internal/obs"
 	"github.com/bertisim/berti/internal/prefetch"
@@ -27,6 +32,95 @@ import (
 	_ "github.com/bertisim/berti/internal/workloads/gap"
 	_ "github.com/bertisim/berti/internal/workloads/speclike"
 )
+
+// SpecError reports a RunSpec that names something the registries do not
+// know or carries an invalid override.
+type SpecError struct {
+	// Field names the offending spec field ("Workload", "L1DPf", ...).
+	Field string
+	// Name is the value that failed to resolve.
+	Name string
+	// Err is the nested cause for override validation failures (nil for
+	// plain lookup misses).
+	Err error
+}
+
+// Error implements error.
+func (e *SpecError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("harness: spec %s=%q: %v", e.Field, e.Name, e.Err)
+	}
+	return fmt.Sprintf("harness: spec %s: unknown %q", e.Field, e.Name)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *SpecError) Unwrap() error { return e.Err }
+
+// PanicError wraps a panic recovered from a simulation goroutine so one
+// crashing run cannot take down sibling experiments.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value interface{}
+	// Stack is the goroutine stack at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("harness: run panicked: %v", e.Value) }
+
+// RunError ties a failure to the spec that produced it.
+type RunError struct {
+	// Spec is the failing run.
+	Spec RunSpec
+	// Attempts is how many executions were tried (2 after a retry).
+	Attempts int
+	// Err is the final failure.
+	Err error
+}
+
+// Error implements error.
+func (e *RunError) Error() string {
+	return fmt.Sprintf("harness: run %s failed after %d attempt(s): %v", e.Spec.key(), e.Attempts, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// RunFailures aggregates the failed runs of a RunMany batch whose other
+// runs completed (the partial-results failure report).
+type RunFailures struct {
+	// Failed holds one *RunError per failing spec.
+	Failed []*RunError
+	// Completed counts the runs that succeeded.
+	Completed int
+}
+
+// Error implements error.
+func (e *RunFailures) Error() string {
+	msg := fmt.Sprintf("harness: %d of %d runs failed", len(e.Failed), len(e.Failed)+e.Completed)
+	for i, f := range e.Failed {
+		if i == 3 {
+			msg += fmt.Sprintf("; ... (%d more)", len(e.Failed)-i)
+			break
+		}
+		msg += "; " + f.Error()
+	}
+	return msg
+}
+
+// DefaultRunTimeout is the per-run wall-clock budget. Generous: quick-scale
+// runs finish in seconds; only a genuine hang (which the cycle-domain
+// watchdog usually catches first) burns this long.
+const DefaultRunTimeout = 10 * time.Minute
+
+// retryable reports whether a failure class is worth one retry. Config,
+// decode, and invariant errors are deterministic — retrying reproduces
+// them; panics and wall-clock deadline overruns may be environmental.
+func retryable(err error) bool {
+	var pe *PanicError
+	var de *sim.DeadlineError
+	return errors.As(err, &pe) || errors.As(err, &de)
+}
 
 // Scale sizes the experiments. The paper simulates 50M warmup + 200M
 // instructions per trace; these scales preserve the methodology at
@@ -93,12 +187,20 @@ type Harness struct {
 	Scale Scale
 	// Workers bounds concurrent simulations (defaults to NumCPU).
 	Workers int
+	// RunTimeout bounds each run's wall-clock time (DefaultRunTimeout if
+	// 0; negative disables the bound).
+	RunTimeout time.Duration
+	// EnableChecks attaches a fresh invariant checker to every run;
+	// violations fail the run (the CI quick suite runs with this on).
+	EnableChecks bool
 
-	mu      sync.Mutex
-	traces  map[string]*trace.Slice
-	results map[string]*sim.Result
-	sem     chan struct{}
-	semOnce sync.Once
+	mu       sync.Mutex
+	traces   map[string]*trace.Slice
+	results  map[string]*sim.Result
+	errs     map[string]error
+	failures []*RunError
+	sem      chan struct{}
+	semOnce  sync.Once
 }
 
 // New builds a harness at the given scale.
@@ -108,54 +210,82 @@ func New(scale Scale) *Harness {
 		Workers: runtime.NumCPU(),
 		traces:  map[string]*trace.Slice{},
 		results: map[string]*sim.Result{},
+		errs:    map[string]error{},
 	}
 }
 
-// Trace returns the (memoized) trace for a workload.
-func (h *Harness) Trace(name string, seed int64) *trace.Slice {
+// Failures returns every run failure recorded so far, in completion order.
+func (h *Harness) Failures() []*RunError {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]*RunError(nil), h.failures...)
+}
+
+func (h *Harness) recordFailure(e *RunError) {
+	h.mu.Lock()
+	h.failures = append(h.failures, e)
+	h.mu.Unlock()
+}
+
+// Trace returns the (memoized) trace for a workload; unknown names yield a
+// *SpecError.
+func (h *Harness) Trace(name string, seed int64) (*trace.Slice, error) {
 	key := fmt.Sprintf("%s|%d|%d", name, seed, h.Scale.MemRecords)
 	h.mu.Lock()
 	if t, ok := h.traces[key]; ok {
 		h.mu.Unlock()
-		return t
+		return t, nil
 	}
 	h.mu.Unlock()
 	w, ok := workloads.ByName(name)
 	if !ok {
-		panic(fmt.Sprintf("harness: unknown workload %q", name))
+		return nil, &SpecError{Field: "Workload", Name: name}
 	}
 	t := w.Gen(workloads.GenConfig{MemRecords: h.Scale.MemRecords, Seed: 42 + seed})
 	h.mu.Lock()
 	h.traces[key] = t
 	h.mu.Unlock()
+	return t, nil
+}
+
+// MustTrace is Trace for workload names known to be registered (tests,
+// benchmarks); it panics on lookup failure.
+func (h *Harness) MustTrace(name string, seed int64) *trace.Slice {
+	t, err := h.Trace(name, seed)
+	if err != nil {
+		panic(err)
+	}
 	return t
 }
 
-func (h *Harness) factory(name string, override *core.Config) sim.PrefetcherFactory {
+func (h *Harness) factory(name string, override *core.Config) (sim.PrefetcherFactory, error) {
 	if name == "" || name == "oracle" {
-		return nil // "oracle" is wired specially in Run (needs the trace)
+		return nil, nil // "oracle" is wired specially in Run (needs the trace)
 	}
 	if name == "berti" && override != nil {
+		if err := override.Validate(); err != nil {
+			return nil, &SpecError{Field: "BertiOverride", Name: name, Err: err}
+		}
 		cfg := *override
-		return func() cache.Prefetcher { return core.New(cfg) }
+		return func() cache.Prefetcher { return core.New(cfg) }, nil
 	}
 	e, ok := prefetch.ByName(name)
 	if !ok {
-		panic(fmt.Sprintf("harness: unknown prefetcher %q", name))
+		return nil, &SpecError{Field: "Prefetcher", Name: name}
 	}
-	return func() cache.Prefetcher { return e.New() }
+	return func() cache.Prefetcher { return e.New() }, nil
 }
 
-func dramConfig(name string) dram.Config {
+func dramConfig(name string) (dram.Config, error) {
 	switch name {
 	case "", "ddr5-6400":
-		return dram.ConfigDDR5_6400()
+		return dram.ConfigDDR5_6400(), nil
 	case "ddr4-3200":
-		return dram.ConfigDDR4_3200()
+		return dram.ConfigDDR4_3200(), nil
 	case "ddr3-1600":
-		return dram.ConfigDDR3_1600()
+		return dram.ConfigDDR3_1600(), nil
 	default:
-		panic(fmt.Sprintf("harness: unknown DRAM config %q", name))
+		return dram.Config{}, &SpecError{Field: "DRAMCfg", Name: name}
 	}
 }
 
@@ -171,13 +301,41 @@ func (h *Harness) acquire() func() {
 	return func() { <-h.sem }
 }
 
-// Run executes (or returns the memoized result of) one simulation.
-func (h *Harness) Run(spec RunSpec) *sim.Result {
+// RunOptions configures a one-off (unmemoized) run: observability,
+// invariant checking, and fault injection.
+type RunOptions struct {
+	// Observer attaches the PR 1 observability layer (sampler/tracer).
+	Observer *obs.Observer
+	// Checker attaches an invariant checker; violations become the run
+	// error (*check.ViolationError) while the result is still returned.
+	Checker *check.Checker
+	// CheckInterval / MSHRStuckAfter tune the checker (0 = defaults).
+	CheckInterval  uint64
+	MSHRStuckAfter uint64
+	// Watchdog overrides the engine's progress-free cycle window
+	// (0 = sim.StallWatchdogCycles). Fault tests shrink it so deliberate
+	// deadlocks fail fast.
+	Watchdog uint64
+	// Fault injects deterministic damage. Trace-level plans re-encode the
+	// workload trace, mutate the bytes, and decode — a corrupt stream
+	// surfaces as a *trace.DecodeError before simulation starts.
+	Fault *fault.Plan
+}
+
+// Run executes (or returns the memoized result of) one simulation. Both
+// outcomes are memoized: a failing spec returns the same error without
+// re-running. The failure (with panic recovery and the retry already
+// applied) is also recorded on the harness; see Failures.
+func (h *Harness) Run(spec RunSpec) (*sim.Result, error) {
 	key := spec.key()
 	h.mu.Lock()
 	if r, ok := h.results[key]; ok {
 		h.mu.Unlock()
-		return r
+		return r, nil
+	}
+	if err, ok := h.errs[key]; ok {
+		h.mu.Unlock()
+		return nil, err
 	}
 	h.mu.Unlock()
 
@@ -187,54 +345,191 @@ func (h *Harness) Run(spec RunSpec) *sim.Result {
 	h.mu.Lock()
 	if r, ok := h.results[key]; ok {
 		h.mu.Unlock()
-		return r
+		return r, nil
+	}
+	if err, ok := h.errs[key]; ok {
+		h.mu.Unlock()
+		return nil, err
 	}
 	h.mu.Unlock()
 
-	r := h.newMachine(spec).Run()
+	opts := RunOptions{}
+	if h.EnableChecks {
+		opts.Checker = check.New()
+	}
+	r, err := h.runProtected(spec, opts)
+	if err != nil {
+		h.mu.Lock()
+		h.errs[key] = err
+		h.mu.Unlock()
+		return nil, err
+	}
 
 	h.mu.Lock()
 	h.results[key] = r
 	h.mu.Unlock()
+	return r, nil
+}
+
+// RunSafe is Run for result-rendering call sites: a failing run yields a
+// zero-stats placeholder (never nil, never a panic) so sibling rows of an
+// experiment table still render, and the failure stays queryable through
+// Failures.
+func (h *Harness) RunSafe(spec RunSpec) *sim.Result {
+	r, err := h.Run(spec)
+	if err != nil {
+		return placeholderResult(spec)
+	}
 	return r
+}
+
+// placeholderResult stands in for a failed run: correct core count, zero
+// statistics (ratios over it degrade to 0, not to a nil dereference).
+func placeholderResult(spec RunSpec) *sim.Result {
+	n := 1
+	if len(spec.Mix) > 0 {
+		n = len(spec.Mix)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Cores = n
+	return &sim.Result{Config: cfg, Cores: make([]sim.CoreResult, n)}
+}
+
+// runProtected executes one run with panic recovery, the wall-clock
+// deadline, and one retry for nondeterministic failure classes. Every
+// final failure is recorded on the harness.
+func (h *Harness) runProtected(spec RunSpec, opts RunOptions) (*sim.Result, error) {
+	attempts := 0
+	for {
+		attempts++
+		res, err := h.runOnce(spec, opts)
+		if err == nil {
+			return res, nil
+		}
+		if attempts == 1 && retryable(err) {
+			continue
+		}
+		re := &RunError{Spec: spec, Attempts: attempts, Err: err}
+		h.recordFailure(re)
+		// Checked runs keep their partial result next to the violation
+		// error so callers can inspect what the damaged run produced.
+		return res, re
+	}
+}
+
+// protect runs f, converting a panic into a *PanicError with the goroutine
+// stack attached.
+func protect(f func() (*sim.Result, error)) (res *sim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack := make([]byte, 16*1024)
+			stack = stack[:runtime.Stack(stack, false)]
+			res, err = nil, &PanicError{Value: r, Stack: stack}
+		}
+	}()
+	return f()
+}
+
+// runOnce performs a single protected execution.
+func (h *Harness) runOnce(spec RunSpec, opts RunOptions) (*sim.Result, error) {
+	return protect(func() (*sim.Result, error) { return h.run(spec, opts) })
+}
+
+// run builds and executes the machine for one spec (unprotected).
+func (h *Harness) run(spec RunSpec, opts RunOptions) (*sim.Result, error) {
+	m, err := h.newMachine(spec, opts.Fault)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Observer != nil {
+		m.SetObserver(opts.Observer)
+	}
+	if opts.Checker != nil {
+		m.SetChecker(opts.Checker, opts.CheckInterval, opts.MSHRStuckAfter)
+	}
+	if opts.Fault != nil && !opts.Fault.TraceFault() {
+		m.SetFaultPlan(opts.Fault)
+	}
+	if opts.Watchdog > 0 {
+		m.SetStallWatchdog(opts.Watchdog)
+	}
+	timeout := h.RunTimeout
+	if timeout == 0 {
+		timeout = DefaultRunTimeout
+	}
+	if timeout > 0 {
+		m.SetDeadline(timeout)
+	}
+	return m.Run()
 }
 
 // RunObserved executes one simulation with the observability layer
 // attached (interval sampler, event tracer). Observed runs bypass the memo
 // cache in both directions: a time series or event trace belongs to a
 // single execution, and the result must reflect the run that produced it.
-func (h *Harness) RunObserved(spec RunSpec, o *obs.Observer) *sim.Result {
+func (h *Harness) RunObserved(spec RunSpec, o *obs.Observer) (*sim.Result, error) {
+	return h.RunWith(spec, RunOptions{Observer: o})
+}
+
+// RunWith executes one unmemoized simulation with the given options
+// (observability, invariant checking, fault injection). Failures get the
+// same protection as Run: panic recovery, deadline, one retry.
+func (h *Harness) RunWith(spec RunSpec, opts RunOptions) (*sim.Result, error) {
 	release := h.acquire()
 	defer release()
-	m := h.newMachine(spec)
-	m.SetObserver(o)
-	return m.Run()
+	return h.runProtected(spec, opts)
 }
 
 // newMachine builds the fully-wired machine for one spec (traces are still
-// memoized; the machine itself is fresh).
-func (h *Harness) newMachine(spec RunSpec) *sim.Machine {
+// memoized; the machine itself is fresh). A trace-level fault plan damages
+// a private encoded copy of each trace, so decode failures surface here as
+// *trace.DecodeError and memoized pristine traces are never touched.
+func (h *Harness) newMachine(spec RunSpec, fp *fault.Plan) (*sim.Machine, error) {
 	cfg := sim.DefaultConfig()
-	cfg.DRAM = dramConfig(spec.DRAMCfg)
+	var err error
+	cfg.DRAM, err = dramConfig(spec.DRAMCfg)
+	if err != nil {
+		return nil, err
+	}
 	cfg.WarmupInstructions = h.Scale.WarmupInstr
 	cfg.SimInstructions = h.Scale.SimInstr
+
+	workloadTrace := func(w string, seed int64) (*trace.Slice, error) {
+		tr, err := h.Trace(w, seed)
+		if err != nil {
+			return nil, err
+		}
+		if fp != nil && fp.TraceFault() {
+			return damageTrace(tr, fp)
+		}
+		return tr, nil
+	}
 
 	var readers []trace.Reader
 	var traces []*trace.Slice
 	if len(spec.Mix) > 0 {
 		cfg.Cores = len(spec.Mix)
 		for i, w := range spec.Mix {
-			tr := h.Trace(w, spec.Seed+int64(i))
+			tr, err := workloadTrace(w, spec.Seed+int64(i))
+			if err != nil {
+				return nil, err
+			}
 			traces = append(traces, tr)
 			readers = append(readers, trace.NewLoopReader(tr))
 		}
 	} else {
 		cfg.Cores = 1
-		tr := h.Trace(spec.Workload, spec.Seed)
+		tr, err := workloadTrace(spec.Workload, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
 		traces = append(traces, tr)
 		readers = append(readers, trace.NewLoopReader(tr))
 	}
-	l1Factory := h.factory(spec.L1DPf, spec.BertiOverride)
+	l1Factory, err := h.factory(spec.L1DPf, spec.BertiOverride)
+	if err != nil {
+		return nil, err
+	}
 	if spec.L1DPf == "oracle" {
 		// The ideal L1D prefetcher reads the trace's future; each core
 		// gets an oracle over its own trace.
@@ -245,21 +540,71 @@ func (h *Harness) newMachine(spec RunSpec) *sim.Machine {
 			return oracle.New(tr, 24)
 		}
 	}
-	return sim.New(cfg, readers, l1Factory, h.factory(spec.L2Pf, nil))
+	l2Factory, err := h.factory(spec.L2Pf, nil)
+	if err != nil {
+		return nil, err
+	}
+	return sim.New(cfg, readers, l1Factory, l2Factory)
 }
 
-// RunMany executes specs concurrently and returns results in order.
-func (h *Harness) RunMany(specs []RunSpec) []*sim.Result {
+// damageTrace round-trips tr through the binary codec with the fault plan
+// applied to the encoded bytes. The decode error (if the damage lands in
+// structure rather than payload) is returned for the harness to surface.
+func damageTrace(tr *trace.Slice, fp *fault.Plan) (*trace.Slice, error) {
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, tr); err != nil {
+		return nil, err
+	}
+	mutated := fp.MutateTrace(buf.Bytes(), trace.MagicLen)
+	return trace.Decode(bytes.NewReader(mutated))
+}
+
+// RunMany executes specs concurrently and returns results in order. A
+// failing run leaves a nil slot and contributes to the returned
+// *RunFailures; the other runs' results are still returned (the partial
+// results the robustness layer exists to preserve).
+func (h *Harness) RunMany(specs []RunSpec) ([]*sim.Result, error) {
 	out := make([]*sim.Result, len(specs))
+	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
 	for i := range specs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out[i] = h.Run(specs[i])
+			out[i], errs[i] = h.Run(specs[i])
 		}(i)
 	}
 	wg.Wait()
+	var fails *RunFailures
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if fails == nil {
+			fails = &RunFailures{}
+		}
+		var re *RunError
+		if !errors.As(err, &re) {
+			re = &RunError{Spec: specs[i], Attempts: 1, Err: err}
+		}
+		fails.Failed = append(fails.Failed, re)
+	}
+	if fails != nil {
+		fails.Completed = len(specs) - len(fails.Failed)
+		return out, fails
+	}
+	return out, nil
+}
+
+// RunManySafe is RunMany for rendering call sites: failed slots hold
+// zero-stats placeholders instead of nil.
+func (h *Harness) RunManySafe(specs []RunSpec) []*sim.Result {
+	out, _ := h.RunMany(specs)
+	for i, r := range out {
+		if r == nil {
+			out[i] = placeholderResult(specs[i])
+		}
+	}
 	return out
 }
 
@@ -309,8 +654,8 @@ func (h *Harness) GeomeanSpeedup(names []string, spec func(w string) RunSpec, ba
 		wg.Add(1)
 		go func(i int, w string) {
 			defer wg.Done()
-			r := h.Run(spec(w))
-			b := h.Run(base(w))
+			r := h.RunSafe(spec(w))
+			b := h.RunSafe(base(w))
 			ratios[i] = SpeedupOver(r, b)
 		}(i, w)
 	}

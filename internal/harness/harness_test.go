@@ -4,16 +4,29 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"github.com/bertisim/berti/internal/sim"
 )
 
 // tinyScale keeps harness tests fast.
 var tinyScale = Scale{Name: "tiny", MemRecords: 40_000, WarmupInstr: 30_000, SimInstr: 80_000, Mixes: 2}
 
+// mustRun fails the test on a run error, which also exercises the happy
+// error path of the hardened harness.
+func mustRun(t *testing.T, h *Harness, spec RunSpec) *sim.Result {
+	t.Helper()
+	res, err := h.Run(spec)
+	if err != nil {
+		t.Fatalf("Run(%+v): %v", spec, err)
+	}
+	return res
+}
+
 func TestRunMemoizes(t *testing.T) {
 	h := New(tinyScale)
 	spec := RunSpec{Workload: "roms_like", L1DPf: "ip-stride"}
-	a := h.Run(spec)
-	b := h.Run(spec)
+	a := mustRun(t, h, spec)
+	b := mustRun(t, h, spec)
 	if a != b {
 		t.Fatal("identical specs must return the memoized result")
 	}
@@ -21,10 +34,10 @@ func TestRunMemoizes(t *testing.T) {
 
 func TestTraceMemoizes(t *testing.T) {
 	h := New(tinyScale)
-	if h.Trace("roms_like", 0) != h.Trace("roms_like", 0) {
+	if h.MustTrace("roms_like", 0) != h.MustTrace("roms_like", 0) {
 		t.Fatal("trace not memoized")
 	}
-	if h.Trace("roms_like", 0) == h.Trace("roms_like", 1) {
+	if h.MustTrace("roms_like", 0) == h.MustTrace("roms_like", 1) {
 		t.Fatal("different seeds must generate different traces")
 	}
 }
@@ -35,7 +48,10 @@ func TestRunManyOrder(t *testing.T) {
 		{Workload: "roms_like"},
 		{Workload: "roms_like", L1DPf: "next-line"},
 	}
-	out := h.RunMany(specs)
+	out, err := h.RunMany(specs)
+	if err != nil {
+		t.Fatalf("RunMany: %v", err)
+	}
 	if len(out) != 2 || out[0] == nil || out[1] == nil {
 		t.Fatal("RunMany results missing")
 	}
@@ -122,8 +138,8 @@ func TestBertiBeatsBaselineOnMCF(t *testing.T) {
 		t.Skip("full simulation")
 	}
 	h := New(tinyScale)
-	berti := h.Run(RunSpec{Workload: "mcf_like_1554", L1DPf: "berti"})
-	base := h.Run(RunSpec{Workload: "mcf_like_1554", L1DPf: "ip-stride"})
+	berti := mustRun(t, h, RunSpec{Workload: "mcf_like_1554", L1DPf: "berti"})
+	base := mustRun(t, h, RunSpec{Workload: "mcf_like_1554", L1DPf: "ip-stride"})
 	sp := SpeedupOver(berti, base)
 	if sp < 1.3 {
 		t.Fatalf("Berti speedup on mcf-like = %.3f, expected well above 1.3", sp)
@@ -140,9 +156,9 @@ func TestBertiFailsOnCactu(t *testing.T) {
 		t.Skip("full simulation")
 	}
 	h := New(tinyScale)
-	berti := h.Run(RunSpec{Workload: "cactu_like", L1DPf: "berti"})
-	mlop := h.Run(RunSpec{Workload: "cactu_like", L1DPf: "mlop"})
-	base := h.Run(RunSpec{Workload: "cactu_like", L1DPf: "ip-stride"})
+	berti := mustRun(t, h, RunSpec{Workload: "cactu_like", L1DPf: "berti"})
+	mlop := mustRun(t, h, RunSpec{Workload: "cactu_like", L1DPf: "mlop"})
+	base := mustRun(t, h, RunSpec{Workload: "cactu_like", L1DPf: "ip-stride"})
 	if SpeedupOver(berti, base) > SpeedupOver(mlop, base)+0.01 {
 		t.Fatalf("on cactu-like, MLOP (%.3f) must beat Berti (%.3f)",
 			SpeedupOver(mlop, base), SpeedupOver(berti, base))

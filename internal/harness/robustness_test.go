@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/bertisim/berti/internal/check"
+	"github.com/bertisim/berti/internal/core"
+	"github.com/bertisim/berti/internal/fault"
+	"github.com/bertisim/berti/internal/sim"
+	"github.com/bertisim/berti/internal/trace"
+)
+
+// faultScale is even smaller than tinyScale: fault runs are repeated per
+// kind and some (delay-fill) inflate the cycle count.
+var faultScale = Scale{Name: "fault", MemRecords: 20_000, WarmupInstr: 10_000, SimInstr: 30_000, Mixes: 2}
+
+// faultSpec is the workload every injection campaign runs: Berti at L1D so
+// prefetch fills exist for drop-fill to swallow.
+var faultSpec = RunSpec{Workload: "mcf_like_1554", L1DPf: "berti"}
+
+// TestTraceFaultsYieldDecodeError: corrupt-record and truncate damage the
+// encoded trace bytes, so the run must fail before simulation with a
+// *trace.DecodeError locating the damage.
+func TestTraceFaultsYieldDecodeError(t *testing.T) {
+	for _, kind := range []fault.Kind{fault.CorruptRecord, fault.TruncateTrace} {
+		t.Run(string(kind), func(t *testing.T) {
+			h := New(faultScale)
+			plan := &fault.Plan{Kind: kind, Seed: 11, Rate: 0.05}
+			_, err := h.RunWith(faultSpec, RunOptions{Checker: check.New(), Fault: plan})
+			if err == nil {
+				t.Fatal("damaged trace must fail the run")
+			}
+			var de *trace.DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("expected a *trace.DecodeError in the chain, got %v", err)
+			}
+			if de.Offset <= 0 {
+				t.Fatalf("decode error must locate the damage, offset=%d", de.Offset)
+			}
+			var re *RunError
+			if !errors.As(err, &re) || re.Attempts != 1 {
+				t.Fatalf("deterministic decode failures must not be retried: %v", err)
+			}
+			// The pristine memoized trace must be untouched by the damage.
+			if _, err := h.Run(faultSpec); err != nil {
+				t.Fatalf("fault-free rerun after trace fault: %v", err)
+			}
+		})
+	}
+}
+
+// TestFillFaultsTripMSHRStuck: dropped prefetch fills leak MSHR entries and
+// grossly delayed fills age past the stuck threshold; both must surface as
+// mshr-stuck violations from the periodic sweep.
+func TestFillFaultsTripMSHRStuck(t *testing.T) {
+	for _, plan := range []*fault.Plan{
+		{Kind: fault.DropFill, Seed: 3, Rate: 1, After: 50},
+		{Kind: fault.DelayFill, Seed: 3, Rate: 0.02, After: 50, Param: 20_000},
+	} {
+		t.Run(string(plan.Kind), func(t *testing.T) {
+			h := New(faultScale)
+			ck := check.New()
+			_, err := h.RunWith(faultSpec, RunOptions{
+				Checker: ck, CheckInterval: 500, MSHRStuckAfter: 2_000,
+				Watchdog: 50_000, Fault: plan,
+			})
+			if err == nil {
+				t.Fatalf("%s must fail the checked run", plan.Kind)
+			}
+			// A total deadlock (demand merged into a leaked prefetch MSHR)
+			// ends in the stall watchdog; a surviving run ends with the
+			// checker's violations. Either way the sweep must have flagged
+			// the stuck entries.
+			var ve *check.ViolationError
+			var se *sim.StallError
+			if !errors.As(err, &ve) && !errors.As(err, &se) {
+				t.Fatalf("expected violations or a stall, got %v", err)
+			}
+			if n := ck.CountByRule(check.RuleMSHRStuck); n == 0 {
+				t.Fatalf("no %s violations recorded; got %v", check.RuleMSHRStuck, ck.Violations())
+			}
+		})
+	}
+}
+
+// TestStateCorruptionDetected: dup-line must be flagged by the dup-tag scan
+// and pq-orphan by the queue-bound check.
+func TestStateCorruptionDetected(t *testing.T) {
+	for _, tc := range []struct {
+		plan *fault.Plan
+		rule string
+	}{
+		{&fault.Plan{Kind: fault.DupLine, Seed: 5, After: 2_000}, check.RuleDupTag},
+		{&fault.Plan{Kind: fault.PQOrphan, Seed: 5, After: 2_000, Param: 3}, check.RuleQueueBound},
+	} {
+		t.Run(string(tc.plan.Kind), func(t *testing.T) {
+			h := New(faultScale)
+			ck := check.New()
+			_, err := h.RunWith(faultSpec, RunOptions{
+				Checker: ck, CheckInterval: 500, Fault: tc.plan,
+			})
+			if err == nil {
+				t.Fatalf("%s must fail the checked run", tc.plan.Kind)
+			}
+			if n := ck.CountByRule(tc.rule); n == 0 {
+				t.Fatalf("no %s violations recorded; got %v", tc.rule, ck.Violations())
+			}
+		})
+	}
+}
+
+// TestFaultDetectionDeterministic: the same plan over the same spec must
+// record the same violation counts on every execution.
+func TestFaultDetectionDeterministic(t *testing.T) {
+	plan := &fault.Plan{Kind: fault.DropFill, Seed: 9, Rate: 1, After: 50}
+	counts := func() int {
+		h := New(faultScale)
+		ck := check.New()
+		_, err := h.RunWith(faultSpec, RunOptions{
+			Checker: ck, CheckInterval: 500, MSHRStuckAfter: 2_000,
+			Watchdog: 50_000, Fault: plan,
+		})
+		if err == nil {
+			t.Fatal("injection must be detected")
+		}
+		return ck.Total()
+	}
+	a, b := counts(), counts()
+	if a != b || a == 0 {
+		t.Fatalf("violation totals differ across identical runs: %d != %d", a, b)
+	}
+}
+
+// TestCheckedRunMatchesUnchecked: the checker is an observer; with no
+// faults injected a checked run must produce an identical result.
+func TestCheckedRunMatchesUnchecked(t *testing.T) {
+	h := New(faultScale)
+	plain, err := h.Run(faultSpec)
+	if err != nil {
+		t.Fatalf("unchecked run: %v", err)
+	}
+	checked, err := h.RunWith(faultSpec, RunOptions{Checker: check.New(), CheckInterval: 500})
+	if err != nil {
+		t.Fatalf("checked run reported violations on a healthy machine: %v", err)
+	}
+	if !reflect.DeepEqual(plain, checked) {
+		t.Fatalf("checking changed the simulation:\nunchecked: %+v\nchecked:   %+v", plain, checked)
+	}
+}
+
+// TestRunManyPartialResults: one failing spec must leave its slot nil and
+// surface in the *RunFailures report while the sibling runs complete.
+func TestRunManyPartialResults(t *testing.T) {
+	h := New(faultScale)
+	specs := []RunSpec{
+		{Workload: "roms_like"},
+		{Workload: "no-such-workload"},
+		{Workload: "roms_like", L1DPf: "next-line"},
+	}
+	out, err := h.RunMany(specs)
+	if err == nil {
+		t.Fatal("RunMany must report the failed spec")
+	}
+	var rf *RunFailures
+	if !errors.As(err, &rf) {
+		t.Fatalf("expected *RunFailures, got %v", err)
+	}
+	if rf.Completed != 2 || len(rf.Failed) != 1 {
+		t.Fatalf("expected 2 completed + 1 failed, got %d + %d", rf.Completed, len(rf.Failed))
+	}
+	if out[0] == nil || out[1] != nil || out[2] == nil {
+		t.Fatalf("result slots wrong: %v", out)
+	}
+	var se *SpecError
+	if !errors.As(rf.Failed[0], &se) || se.Name != "no-such-workload" {
+		t.Fatalf("failure must identify the bad spec: %v", rf.Failed[0])
+	}
+	if len(h.Failures()) != 1 {
+		t.Fatalf("harness must record exactly the one failure, got %v", h.Failures())
+	}
+	// RunManySafe renders placeholders for the failed slot.
+	safe := h.RunManySafe(specs)
+	if safe[1] == nil || safe[1].IPC() != 0 {
+		t.Fatal("RunManySafe must substitute a zero-stats placeholder")
+	}
+}
+
+// TestPanicBecomesError: a panic inside a run must come back as a
+// *PanicError with the stack attached, and count as retryable.
+func TestPanicBecomesError(t *testing.T) {
+	_, err := protect(func() (*sim.Result, error) { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected *PanicError, got %v", err)
+	}
+	if pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Fatalf("panic value/stack not captured: %+v", pe)
+	}
+	if !retryable(err) {
+		t.Fatal("panics must be retryable (possibly environmental)")
+	}
+	if retryable(&SpecError{Field: "Workload", Name: "x"}) {
+		t.Fatal("spec errors are deterministic and must not be retried")
+	}
+	if !retryable(&sim.DeadlineError{}) {
+		t.Fatal("deadline overruns must be retryable")
+	}
+}
+
+// TestRunMemoizesErrors: a failing spec must be executed once and return
+// the same error on subsequent calls.
+func TestRunMemoizesErrors(t *testing.T) {
+	h := New(faultScale)
+	bad := RunSpec{Workload: "roms_like", L1DPf: "no-such-prefetcher"}
+	_, err1 := h.Run(bad)
+	_, err2 := h.Run(bad)
+	if err1 == nil || err1 != err2 {
+		t.Fatalf("errors must be memoized: %v vs %v", err1, err2)
+	}
+	if len(h.Failures()) != 1 {
+		t.Fatalf("memoized failures must be recorded once, got %d", len(h.Failures()))
+	}
+}
+
+// TestBertiOverrideValidated: an invalid sensitivity-study override must be
+// rejected as a *SpecError before any machine is built.
+func TestBertiOverrideValidated(t *testing.T) {
+	h := New(faultScale)
+	bad := faultSpec
+	cfg := core.DefaultConfig()
+	cfg.DeltasPerEntry = 0
+	bad.BertiOverride = &cfg
+	_, err := h.Run(bad)
+	var se *SpecError
+	if !errors.As(err, &se) || se.Field != "BertiOverride" {
+		t.Fatalf("expected BertiOverride *SpecError, got %v", err)
+	}
+}

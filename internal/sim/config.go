@@ -5,6 +5,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"github.com/bertisim/berti/internal/cache"
 	"github.com/bertisim/berti/internal/dram"
 	"github.com/bertisim/berti/internal/vm"
@@ -76,3 +78,63 @@ func DefaultConfig() Config {
 // PrefetcherFactory builds a prefetcher instance for one core's cache
 // level; nil factories mean no prefetching at that level.
 type PrefetcherFactory func() cache.Prefetcher
+
+// Validate checks the core-model parameters.
+func (c CoreConfig) Validate() error {
+	bad := func(field string, got int) error {
+		return &ConfigError{Field: "Core." + field, Reason: fmt.Sprintf("must be >= 1, got %d", got)}
+	}
+	if c.ROBSize <= 0 {
+		return bad("ROBSize", c.ROBSize)
+	}
+	if c.IssueWidth <= 0 {
+		return bad("IssueWidth", c.IssueWidth)
+	}
+	if c.RetireWidth <= 0 {
+		return bad("RetireWidth", c.RetireWidth)
+	}
+	if c.LoadPorts <= 0 {
+		return bad("LoadPorts", c.LoadPorts)
+	}
+	if c.StorePorts <= 0 {
+		return bad("StorePorts", c.StorePorts)
+	}
+	return nil
+}
+
+// Validate checks the whole system configuration, descending into each
+// cache level, the core model, and the MMU. It returns a *ConfigError
+// (wrapping the nested error where applicable) for the first violated
+// constraint, or nil.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return &ConfigError{Field: "Cores", Reason: fmt.Sprintf("must be >= 1, got %d", c.Cores)}
+	}
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	for _, lv := range []struct {
+		field string
+		cfg   cache.Config
+	}{{"L1D", c.L1D}, {"L2", c.L2}, {"LLC", c.LLC}} {
+		if err := lv.cfg.Validate(); err != nil {
+			return &ConfigError{Field: lv.field, Err: err}
+		}
+	}
+	if err := c.MMU.Validate(); err != nil {
+		return &ConfigError{Field: "MMU", Err: err}
+	}
+	if c.DRAM.Banks <= 0 {
+		return &ConfigError{Field: "DRAM.Banks", Reason: fmt.Sprintf("must be >= 1, got %d", c.DRAM.Banks)}
+	}
+	if c.DRAM.RowBytes < 64 {
+		return &ConfigError{Field: "DRAM.RowBytes", Reason: fmt.Sprintf("must be >= one 64-byte line, got %d", c.DRAM.RowBytes)}
+	}
+	if c.DRAM.RQSize <= 0 || c.DRAM.WQSize <= 0 {
+		return &ConfigError{Field: "DRAM", Reason: fmt.Sprintf("queue sizes must be >= 1, got rq=%d wq=%d", c.DRAM.RQSize, c.DRAM.WQSize)}
+	}
+	if c.SimInstructions == 0 {
+		return &ConfigError{Field: "SimInstructions", Reason: "must be > 0"}
+	}
+	return nil
+}

@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"fmt"
 	"io"
 
 	"github.com/bertisim/berti/internal/cache"
+	"github.com/bertisim/berti/internal/check"
 	"github.com/bertisim/berti/internal/stats"
 	"github.com/bertisim/berti/internal/trace"
 	"github.com/bertisim/berti/internal/vm"
@@ -56,6 +58,9 @@ type Core struct {
 	pendingValid  bool
 	pendingNonMem uint32
 	traceDone     bool
+	// err records a non-EOF trace-reader failure; the core stops
+	// dispatching and the engine surfaces it as the run error.
+	err error
 
 	memRecords uint64 // global memory-record counter
 	depDone    [depWindow]uint64
@@ -108,6 +113,35 @@ func (c *Core) Tick(cycle uint64) {
 // Done reports whether the core has exhausted its trace and window.
 func (c *Core) Done() bool {
 	return c.traceDone && !c.pendingValid && c.robCount == 0
+}
+
+// Err returns the trace-reader failure that stopped this core, if any.
+func (c *Core) Err() error { return c.err }
+
+// CheckInvariants verifies the reorder buffer's accounting: the occupancy
+// counters must agree with the entries actually present in the ring, and
+// the aggregated instruction count must match a fresh walk. It never
+// mutates state.
+func (c *Core) CheckInvariants(name string, cycle uint64, report func(check.Violation)) {
+	if c.robCount < 0 || c.robCount >= len(c.rob) {
+		report(check.Violation{Rule: check.RuleROBAccounting, Component: name, Cycle: cycle,
+			Detail: fmt.Sprintf("robCount %d outside ring of %d slots", c.robCount, len(c.rob))})
+		return
+	}
+	instrs := 0
+	i := c.robHead
+	for n := 0; n < c.robCount; n++ {
+		instrs += c.entryInstrs(&c.rob[i])
+		i = (i + 1) % len(c.rob)
+	}
+	if instrs != c.robInstrs {
+		report(check.Violation{Rule: check.RuleROBAccounting, Component: name, Cycle: cycle,
+			Detail: fmt.Sprintf("robInstrs counter %d, ring walk says %d", c.robInstrs, instrs)})
+	}
+	if c.issueSkip > c.robCount {
+		report(check.Violation{Rule: check.RuleROBAccounting, Component: name, Cycle: cycle,
+			Detail: fmt.Sprintf("issueSkip %d exceeds occupancy %d", c.issueSkip, c.robCount)})
+	}
 }
 
 func (c *Core) retire(cycle uint64) {
@@ -175,11 +209,14 @@ func (c *Core) dispatch(cycle uint64) {
 			}
 			rec, err := c.reader.Next()
 			if err != nil {
-				if err == io.EOF {
-					c.traceDone = true
-					return
+				// EOF ends the trace cleanly; anything else (a corrupt
+				// stream read lazily) stops this core and is surfaced by
+				// the engine as the run error.
+				if err != io.EOF {
+					c.err = err
 				}
-				panic(err)
+				c.traceDone = true
+				return
 			}
 			c.pending = rec
 			c.pendingNonMem = rec.NonMemBefore

@@ -18,7 +18,7 @@ func TestRetireOrderInOrder(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.WarmupInstructions = 0
 	cfg.SimInstructions = 900
-	res := RunOnce(cfg, tr, nil, nil)
+	res := MustRunOnce(cfg, tr, nil, nil)
 	// The window is 352: until the head (slow) load completes, at most
 	// ROBSize instructions can be in flight; cycles must cover at least
 	// the head's miss latency.
@@ -41,7 +41,7 @@ func TestIssueSkipDoesNotSkipUnissued(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.WarmupInstructions = 0
 	cfg.SimInstructions = 202
-	res := RunOnce(cfg, tr, nil, nil) // must terminate: consumer issues eventually
+	res := MustRunOnce(cfg, tr, nil, nil) // must terminate: consumer issues eventually
 	if res.Cores[0].Core.Loads != 202 {
 		t.Fatalf("loads retired = %d, want 202", res.Cores[0].Core.Loads)
 	}
@@ -57,7 +57,7 @@ func TestNonMemAggregation(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.WarmupInstructions = 0
 	cfg.SimInstructions = 100_000
-	res := RunOnce(cfg, tr, nil, nil)
+	res := MustRunOnce(cfg, tr, nil, nil)
 	// Pure ALU work retires at exactly RetireWidth=4 per cycle
 	// asymptotically.
 	if ipc := res.IPC(); ipc < 3.5 || ipc > 4.01 {
@@ -74,8 +74,8 @@ func TestDoneWithoutTarget(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.WarmupInstructions = 0
 	cfg.SimInstructions = 1_000_000 // more than the trace holds
-	m := New(cfg, []trace.Reader{trace.NewSliceReader(tr)}, nil, nil)
-	res := m.Run() // must not hang: Done() ends the run
+	m := MustNew(cfg, []trace.Reader{trace.NewSliceReader(tr)}, nil, nil)
+	res := MustRun(m) // must not hang: Done() ends the run
 	if res.Cores[0].Core.Instructions == 0 {
 		t.Fatal("nothing retired")
 	}
@@ -92,7 +92,7 @@ func TestDepDistToStore(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.WarmupInstructions = 0
 	cfg.SimInstructions = 7000
-	res := RunOnce(cfg, tr, nil, nil)
+	res := MustRunOnce(cfg, tr, nil, nil)
 	if res.Cores[0].Core.Loads == 0 || res.Cores[0].Core.Stores == 0 {
 		t.Fatal("mixed trace did not retire")
 	}

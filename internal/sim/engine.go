@@ -2,9 +2,12 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/bertisim/berti/internal/cache"
+	"github.com/bertisim/berti/internal/check"
 	"github.com/bertisim/berti/internal/dram"
+	"github.com/bertisim/berti/internal/fault"
 	"github.com/bertisim/berti/internal/obs"
 	"github.com/bertisim/berti/internal/stats"
 	"github.com/bertisim/berti/internal/trace"
@@ -118,14 +121,42 @@ type Machine struct {
 	obsv       *obs.Observer
 	sampling   bool
 	nextSample uint64
+
+	// Invariant checking (nil checker = disabled at the cost of one nil
+	// check per tick). checkInterval is the cycle stride between sweeps;
+	// mshrStuckAfter is the in-flight age that flags a leaked fill.
+	checker        *check.Checker
+	checkInterval  uint64
+	mshrStuckAfter uint64
+	nextCheck      uint64
+
+	// Fault injection (nil = disabled). State-corruption plans (dup-line,
+	// pq-orphan) fire once at plan.After cycles; fill plans attach a hook
+	// to every L1D.
+	faultPlan      *fault.Plan
+	injector       *fault.FillInjector
+	corruptApplied bool
+
+	// deadline bounds the run's wall-clock time (zero = unbounded).
+	deadline      time.Time
+	deadlineLimit time.Duration
+
+	// watchdogCycles overrides StallWatchdogCycles (0 = default).
+	watchdogCycles uint64
 }
 
 // New builds a machine: per-core L1D+L2 (private), a shared LLC sized
 // 2 MB/core, and one DRAM channel. traces supplies one reader per core.
-// l1dPf/l2Pf are per-level prefetcher factories (nil = none).
-func New(cfg Config, traces []trace.Reader, l1dPf, l2Pf PrefetcherFactory) *Machine {
+// l1dPf/l2Pf are per-level prefetcher factories (nil = none). The
+// configuration is validated first; an invalid one yields a *ConfigError
+// (or the nested cache/vm error) instead of a panic downstream.
+func New(cfg Config, traces []trace.Reader, l1dPf, l2Pf PrefetcherFactory) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if len(traces) != cfg.Cores {
-		panic(fmt.Sprintf("sim: %d traces for %d cores", len(traces), cfg.Cores))
+		return nil, &ConfigError{Field: "Cores",
+			Reason: fmt.Sprintf("%d trace readers for %d cores", len(traces), cfg.Cores)}
 	}
 	m := &Machine{cfg: cfg}
 	m.dramC = dram.NewChannel(cfg.DRAM)
@@ -137,16 +168,29 @@ func New(cfg Config, traces []trace.Reader, l1dPf, l2Pf PrefetcherFactory) *Mach
 	llcCfg.RQSize *= cfg.Cores
 	llcCfg.WQSize *= cfg.Cores
 	llcCfg.PQSize *= cfg.Cores
-	m.llc = cache.New(llcCfg, da)
+	llc, err := cache.New(llcCfg, da)
+	if err != nil {
+		return nil, &ConfigError{Field: "LLC", Err: err}
+	}
+	m.llc = llc
 
 	for i := 0; i < cfg.Cores; i++ {
-		mmu := vm.NewMMU(cfg.MMU, uint64(i)+1)
+		mmu, err := vm.NewMMU(cfg.MMU, uint64(i)+1)
+		if err != nil {
+			return nil, &ConfigError{Field: "MMU", Err: err}
+		}
 		l2cfg := cfg.L2
 		l2cfg.Name = fmt.Sprintf("L2.%d", i)
-		l2 := cache.New(l2cfg, m.llc)
+		l2, err := cache.New(l2cfg, m.llc)
+		if err != nil {
+			return nil, &ConfigError{Field: "L2", Err: err}
+		}
 		l1cfg := cfg.L1D
 		l1cfg.Name = fmt.Sprintf("L1D.%d", i)
-		l1 := cache.New(l1cfg, l2)
+		l1, err := cache.New(l1cfg, l2)
+		if err != nil {
+			return nil, &ConfigError{Field: "L1D", Err: err}
+		}
 		l1.SetTranslator(stlbXlat{mmu: mmu})
 		if l1dPf != nil {
 			l1.SetPrefetcher(l1dPf())
@@ -159,6 +203,17 @@ func New(cfg Config, traces []trace.Reader, l1dPf, l2Pf PrefetcherFactory) *Mach
 		m.l1ds = append(m.l1ds, l1)
 		m.l2s = append(m.l2s, l2)
 		m.cores = append(m.cores, core)
+	}
+	return m, nil
+}
+
+// MustNew builds a machine from a configuration known to be valid (tests,
+// compiled-in defaults). It panics on error; user-supplied configurations
+// must go through New.
+func MustNew(cfg Config, traces []trace.Reader, l1dPf, l2Pf PrefetcherFactory) *Machine {
+	m, err := New(cfg, traces, l1dPf, l2Pf)
+	if err != nil {
+		panic(err)
 	}
 	return m
 }
@@ -178,6 +233,123 @@ func (m *Machine) SetObserver(o *obs.Observer) {
 		m.mmus[i].SetTracer(o.Tracer)
 	}
 	m.llc.SetTracer(o.Tracer)
+}
+
+// DefaultCheckInterval is the cycle stride between invariant sweeps.
+const DefaultCheckInterval = 10_000
+
+// DefaultMSHRStuckAfter is the in-flight age (cycles) at which an MSHR
+// entry is flagged as a leaked fill. Well below the 2M-cycle watchdog, far
+// above any legitimate DRAM round trip.
+const DefaultMSHRStuckAfter = 100_000
+
+// SetChecker attaches the invariant checker. Must be called before Run.
+// interval and stuckAfter of 0 select the defaults. A nil checker leaves
+// checking disabled at the cost of one nil check per tick.
+func (m *Machine) SetChecker(c *check.Checker, interval, stuckAfter uint64) {
+	m.checker = c
+	m.checkInterval = interval
+	if m.checkInterval == 0 {
+		m.checkInterval = DefaultCheckInterval
+	}
+	m.mshrStuckAfter = stuckAfter
+	if m.mshrStuckAfter == 0 {
+		m.mshrStuckAfter = DefaultMSHRStuckAfter
+	}
+}
+
+// SetFaultPlan attaches a simulation-level fault plan. Must be called
+// before Run. Fill plans (drop-fill, delay-fill) hook every L1D's fill
+// path; state-corruption plans (dup-line, pq-orphan) fire once when the
+// cycle counter reaches plan.After. Trace-level plans are a no-op here
+// (apply them to the encoded bytes before decoding).
+func (m *Machine) SetFaultPlan(p *fault.Plan) {
+	m.faultPlan = p
+	if inj := fault.NewFillInjector(p); inj != nil {
+		m.injector = inj
+		for _, l1 := range m.l1ds {
+			l1.SetFaultHook(inj)
+		}
+	}
+}
+
+// Injector returns the attached fill injector (nil if none) for test
+// observability of injection counts.
+func (m *Machine) Injector() *fault.FillInjector { return m.injector }
+
+// SetStallWatchdog overrides the progress-free cycle window after which the
+// run is declared hung (0 restores StallWatchdogCycles). Fault-injection
+// tests shrink it so a deliberately deadlocked machine fails fast.
+func (m *Machine) SetStallWatchdog(cycles uint64) { m.watchdogCycles = cycles }
+
+// SetDeadline bounds the run's wall-clock time; 0 disables the bound. The
+// deadline is checked every few thousand cycles, so enforcement is
+// approximate but cheap.
+func (m *Machine) SetDeadline(d time.Duration) {
+	m.deadlineLimit = d
+	if d > 0 {
+		m.deadline = time.Now().Add(d)
+	} else {
+		m.deadline = time.Time{}
+	}
+}
+
+// snapshotState captures the engine's progress state for stall/deadline
+// reports.
+func (m *Machine) snapshotState() EngineSnapshot {
+	s := EngineSnapshot{Cycle: m.cycle}
+	for _, c := range m.cores {
+		s.Retired = append(s.Retired, c.RetiredTotal)
+		s.Finished = append(s.Finished, c.Finished)
+	}
+	for i := range m.l1ds {
+		s.Queues = append(s.Queues, m.l1ds[i].Queues())
+	}
+	for i := range m.l2s {
+		s.Queues = append(s.Queues, m.l2s[i].Queues())
+	}
+	s.Queues = append(s.Queues, m.llc.Queues())
+	return s
+}
+
+// checkAll sweeps every subsystem's invariants once.
+func (m *Machine) checkAll(cycle uint64) {
+	report := m.checker.Report
+	for i := range m.l1ds {
+		m.l1ds[i].CheckInvariants(cycle, m.mshrStuckAfter, report)
+		m.l2s[i].CheckInvariants(cycle, m.mshrStuckAfter, report)
+	}
+	m.llc.CheckInvariants(cycle, m.mshrStuckAfter, report)
+	for i, c := range m.cores {
+		c.CheckInvariants(fmt.Sprintf("core.%d", i), cycle, report)
+		m.mmus[i].CheckInvariants(fmt.Sprintf("MMU.%d", i), cycle, report)
+	}
+}
+
+// maybeCorrupt applies a one-shot state-corruption fault (dup-line,
+// pq-orphan) once the cycle counter reaches the plan's After.
+func (m *Machine) maybeCorrupt() {
+	if m.corruptApplied || m.faultPlan == nil || m.cycle < m.faultPlan.After {
+		return
+	}
+	switch m.faultPlan.Kind {
+	case fault.DupLine:
+		m.corruptApplied = m.l1ds[0].CorruptDuplicateTag()
+	case fault.PQOrphan:
+		n := int(m.faultPlan.Param)
+		if n == 0 {
+			n = 4
+		}
+		m.l1ds[0].CorruptPQOrphans(n)
+		m.corruptApplied = true
+	default:
+		m.corruptApplied = true // fill/trace plans need no state corruption
+	}
+	if m.corruptApplied && m.checker != nil {
+		// Sweep before normal traffic can evict the damage: a duplicated
+		// tag in a streaming set lives far shorter than the check interval.
+		m.nextCheck = m.cycle
+	}
 }
 
 // snapshot captures core 0's cumulative counters (plus shared LLC/DRAM)
@@ -239,18 +411,25 @@ func (m *Machine) tick() {
 // Each core is measured over cfg.SimInstructions retired after warmup;
 // cores that finish early keep executing (their trace readers loop in
 // multi-core mixes) so contention persists until all cores finish.
-func (m *Machine) Run() *Result {
+//
+// A hang yields a *StallError, a blown wall-clock budget a *DeadlineError,
+// a failing trace reader a *TraceReadError (all with nil result). When an
+// attached checker recorded violations the result is still returned
+// alongside the *check.ViolationError.
+func (m *Machine) Run() (*Result, error) {
 	cfg := m.cfg
 	// Warmup phase.
 	if cfg.WarmupInstructions > 0 {
-		m.runUntil(func() bool {
+		if err := m.runUntil(func() bool {
 			for _, c := range m.cores {
 				if c.RetiredTotal < cfg.WarmupInstructions && !c.Done() {
 					return false
 				}
 			}
 			return true
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
 	// Reset measured statistics; cache/TLB/predictor state persists.
 	warmupEnd := m.cycle
@@ -274,14 +453,16 @@ func (m *Machine) Run() *Result {
 	}
 
 	// Measurement phase.
-	m.runUntil(func() bool {
+	if err := m.runUntil(func() bool {
 		for _, c := range m.cores {
 			if !c.Finished && !c.Done() {
 				return false
 			}
 		}
 		return true
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	res := &Result{Config: cfg, Cycles: m.cycle - warmupEnd}
 	if m.sampling {
@@ -325,17 +506,58 @@ func (m *Machine) Run() *Result {
 		res.L2PfName = pf.Name()
 		res.L2PfBits = pf.StorageBits()
 	}
+	if m.checker != nil {
+		// Final sweep so short runs (or damage near the end) are still
+		// inspected at least once.
+		m.checkAll(m.cycle)
+		if err := m.checker.Err(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// MustRun is Run for machines known to be healthy (examples, tests with
+// trusted traces); it panics on any error. The free-function form exists so
+// call sites read sim.MustRun(m) alongside sim.MustNew.
+func MustRun(m *Machine) *Result {
+	res, err := m.Run()
+	if err != nil {
+		panic(err)
+	}
 	return res
 }
 
-// runUntil ticks the machine until cond holds, with a progress watchdog.
-func (m *Machine) runUntil(cond func() bool) {
+// StallWatchdogCycles is the progress-free window after which runUntil
+// declares the machine hung.
+const StallWatchdogCycles = 2_000_000
+
+// deadlineStride is how many cycles pass between wall-clock checks.
+const deadlineStride = 1 << 14
+
+// runUntil ticks the machine until cond holds, with a progress watchdog, a
+// wall-clock deadline, and the periodic invariant sweep.
+func (m *Machine) runUntil(cond func() bool) error {
 	lastProgress := m.cycle
 	var lastRetired uint64
+	watchdog := m.watchdogCycles
+	if watchdog == 0 {
+		watchdog = StallWatchdogCycles
+	}
 	for !cond() {
 		m.tick()
 		if m.sampling {
 			m.maybeSample()
+		}
+		if m.faultPlan != nil {
+			m.maybeCorrupt()
+		}
+		if m.checker != nil && m.cycle >= m.nextCheck {
+			m.checkAll(m.cycle)
+			m.nextCheck = m.cycle + m.checkInterval
+		}
+		if !m.deadline.IsZero() && m.cycle%deadlineStride == 0 && time.Now().After(m.deadline) {
+			return &DeadlineError{Limit: m.deadlineLimit, Snapshot: m.snapshotState()}
 		}
 		var retired uint64
 		for _, c := range m.cores {
@@ -344,18 +566,36 @@ func (m *Machine) runUntil(cond func() bool) {
 		if retired != lastRetired {
 			lastRetired = retired
 			lastProgress = m.cycle
-		} else if m.cycle-lastProgress > 2_000_000 {
-			panic(fmt.Sprintf("sim: no retirement progress for 2M cycles at cycle %d (retired=%d)",
-				m.cycle, retired))
+		} else if m.cycle-lastProgress > watchdog {
+			return &StallError{StallCycles: watchdog, Snapshot: m.snapshotState()}
+		}
+		for i, c := range m.cores {
+			if err := c.Err(); err != nil {
+				return &TraceReadError{Core: i, Err: err}
+			}
 		}
 	}
+	return nil
 }
 
 // RunOnce is a convenience: build a single-core machine over tr and run it.
-func RunOnce(cfg Config, tr *trace.Slice, l1dPf, l2Pf PrefetcherFactory) *Result {
+func RunOnce(cfg Config, tr *trace.Slice, l1dPf, l2Pf PrefetcherFactory) (*Result, error) {
 	cfg.Cores = 1
-	m := New(cfg, []trace.Reader{trace.NewSliceReader(tr)}, l1dPf, l2Pf)
+	m, err := New(cfg, []trace.Reader{trace.NewSliceReader(tr)}, l1dPf, l2Pf)
+	if err != nil {
+		return nil, err
+	}
 	return m.Run()
+}
+
+// MustRunOnce is RunOnce for configurations and traces known to be good
+// (tests, benchmarks); it panics on any error.
+func MustRunOnce(cfg Config, tr *trace.Slice, l1dPf, l2Pf PrefetcherFactory) *Result {
+	res, err := RunOnce(cfg, tr, l1dPf, l2Pf)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // L2RQRejects exposes core i's L2 read-queue rejections (diagnostics).

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bertisim/berti/internal/cache"
+)
+
+// ConfigError reports an invalid system configuration.
+type ConfigError struct {
+	// Field names the offending parameter ("Cores", "Core.ROBSize", ...).
+	Field string
+	// Reason describes the constraint that failed.
+	Reason string
+	// Err is the underlying cause when the failure came from a nested
+	// configuration (a *cache.ConfigError, a *vm.ConfigError); nil
+	// otherwise.
+	Err error
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("sim: invalid config %s: %v", e.Field, e.Err)
+	}
+	return fmt.Sprintf("sim: invalid config %s: %s", e.Field, e.Reason)
+}
+
+// Unwrap exposes the nested cause to errors.Is/As.
+func (e *ConfigError) Unwrap() error { return e.Err }
+
+// EngineSnapshot captures the machine's progress state at the moment a run
+// failed — enough to see which queue or core wedged without re-running
+// under a debugger.
+type EngineSnapshot struct {
+	// Cycle is the simulation cycle at capture.
+	Cycle uint64 `json:"cycle"`
+	// Retired holds each core's total retired-instruction count.
+	Retired []uint64 `json:"retired"`
+	// Finished holds each core's completion flag.
+	Finished []bool `json:"finished"`
+	// Queues holds every cache level's queue/MSHR occupancy, L1D.0 first,
+	// LLC last.
+	Queues []cache.QueueSnapshot `json:"queues"`
+}
+
+// String renders the snapshot compactly for error messages.
+func (s EngineSnapshot) String() string {
+	out := fmt.Sprintf("cycle=%d retired=%v", s.Cycle, s.Retired)
+	for _, q := range s.Queues {
+		out += fmt.Sprintf(" %s[mshr=%d rq=%d wq=%d pq=%d sendq=%d]",
+			q.Name, q.MSHR, q.RQ, q.WQ, q.PQ, q.SendQ)
+	}
+	return out
+}
+
+// StallError reports that the engine made no retirement progress for
+// StallCycles cycles — a hang (leaked fill, wedged queue) that previously
+// crashed the process via panic.
+type StallError struct {
+	// StallCycles is the progress-free window that tripped the watchdog.
+	StallCycles uint64
+	// Snapshot is the engine state at detection.
+	Snapshot EngineSnapshot
+}
+
+// Error implements error.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("sim: no retirement progress for %d cycles (%s)", e.StallCycles, e.Snapshot)
+}
+
+// DeadlineError reports that a run exceeded its wall-clock budget.
+type DeadlineError struct {
+	// Limit is the configured budget.
+	Limit time.Duration
+	// Snapshot is the engine state when the deadline fired.
+	Snapshot EngineSnapshot
+}
+
+// Error implements error.
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("sim: run exceeded %v wall-clock deadline (%s)", e.Limit, e.Snapshot)
+}
+
+// TraceReadError reports a trace-reader failure surfaced through the core
+// model mid-run (previously a panic inside dispatch).
+type TraceReadError struct {
+	// Core is the core whose reader failed.
+	Core int
+	// Err is the reader's error (often a *trace.DecodeError).
+	Err error
+}
+
+// Error implements error.
+func (e *TraceReadError) Error() string {
+	return fmt.Sprintf("sim: core %d trace read: %v", e.Core, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *TraceReadError) Unwrap() error { return e.Err }

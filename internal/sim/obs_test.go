@@ -16,9 +16,9 @@ func observedRun(t *testing.T, cfg Config, tr *trace.Slice) (*Result, []byte, []
 		Sampler: obs.NewSampler(5_000),
 		Tracer:  obs.NewTracer(1 << 12),
 	}
-	m := New(cfg, []trace.Reader{trace.NewSliceReader(tr)}, bertiFactory, nil)
+	m := MustNew(cfg, []trace.Reader{trace.NewSliceReader(tr)}, bertiFactory, nil)
 	m.SetObserver(o)
-	res := m.Run()
+	res := MustRun(m)
 	var csv, tj bytes.Buffer
 	if res.TimeSeries == nil {
 		t.Fatal("observed run returned no time series")
@@ -57,7 +57,7 @@ func TestObservedRunMatchesUnobserved(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Cores = 1
 	tr := strideTrace(60_000, 9, 2)
-	plain := RunOnce(cfg, tr, bertiFactory, nil)
+	plain := MustRunOnce(cfg, tr, bertiFactory, nil)
 	observed, _, _ := observedRun(t, cfg, tr)
 	if plain.Cycles != observed.Cycles {
 		t.Fatalf("observation perturbed the run: %d vs %d cycles",

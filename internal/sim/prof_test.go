@@ -17,8 +17,8 @@ func BenchmarkProfileSim(b *testing.B) {
 		cfg := DefaultConfig()
 		cfg.WarmupInstructions = 50_000
 		cfg.SimInstructions = 200_000
-		m := New(cfg, []trace.Reader{trace.NewLoopReader(tr)},
+		m := MustNew(cfg, []trace.Reader{trace.NewLoopReader(tr)},
 			func() cache.Prefetcher { return core.New(core.DefaultConfig()) }, nil)
-		m.Run()
+		MustRun(m)
 	}
 }

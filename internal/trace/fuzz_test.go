@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the trace decoder. Decode must never
+// panic and never allocate proportionally to what a corrupt length field
+// claims; any accepted input must round-trip through Encode byte-for-byte
+// (the encoding is canonical: one byte sequence per trace).
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: empty trace, a small real trace, and damaged variants.
+	var empty bytes.Buffer
+	if err := Encode(&empty, &Slice{}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+
+	s := &Slice{}
+	for i := 0; i < 32; i++ {
+		s.Append(Record{
+			IP:           0x400000 + uint64(i)*4,
+			Addr:         0x7f0000 + uint64(i)*64,
+			Kind:         Kind(i % 2),
+			NonMemBefore: uint32(i % 7),
+			DepDist:      uint8(i % 5),
+		})
+	}
+	var full bytes.Buffer
+	if err := Encode(&full, s); err != nil {
+		f.Fatal(err)
+	}
+	valid := full.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])          // truncated mid-record
+	f.Add(valid[:MagicLen])              // header only
+	f.Add([]byte("NOTATRACEFILE!!!"))    // bad magic
+	f.Add(append([]byte{}, magic[:]...)) // magic, no count
+	// Huge claimed record count over no data.
+	f.Add(append(append([]byte{}, magic[:]...), 0xff, 0xff, 0xff, 0xff, 0x0f))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("Decode error is not a *DecodeError: %v", err)
+			}
+			if de.Offset < 0 || de.Offset > int64(len(data)) {
+				t.Fatalf("DecodeError offset %d outside input of %d bytes", de.Offset, len(data))
+			}
+			return
+		}
+		// Accepted input must re-encode to a trace that decodes identically.
+		var buf bytes.Buffer
+		if err := Encode(&buf, got); err != nil {
+			t.Fatalf("re-encode of accepted input: %v", err)
+		}
+		again, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding: %v", err)
+		}
+		if got.Len() != again.Len() {
+			t.Fatalf("round trip changed length: %d != %d", got.Len(), again.Len())
+		}
+		for i := range got.Records {
+			if got.Records[i] != again.Records[i] {
+				t.Fatalf("record %d changed in round trip: %+v != %+v",
+					i, got.Records[i], again.Records[i])
+			}
+		}
+	})
+}

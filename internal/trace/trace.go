@@ -151,8 +151,60 @@ func (r *LoopReader) Next() (Record, error) {
 
 var magic = [8]byte{'B', 'E', 'R', 'T', 'I', 'T', 'R', '1'}
 
-// ErrBadMagic is returned when decoding a stream that is not a trace.
+// MagicLen is the length of the binary-format header (fault injection
+// preserves it so corruption lands in record data).
+const MagicLen = len(magic)
+
+// ErrBadMagic is returned (wrapped in a *DecodeError) when decoding a
+// stream that is not a trace.
 var ErrBadMagic = errors.New("trace: bad magic header")
+
+// DecodeError reports a corrupt or truncated trace, locating the damage by
+// byte offset and record index.
+type DecodeError struct {
+	// Offset is the byte offset into the stream at which decoding failed.
+	Offset int64
+	// Record is the index of the record being decoded (0-based); -1 for
+	// header-level failures.
+	Record int64
+	// Field names the record field being decoded ("ip", "kind", ...).
+	Field string
+	// Err is the underlying cause (io.ErrUnexpectedEOF, ErrBadMagic, a
+	// validation failure).
+	Err error
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	if e.Record < 0 {
+		return fmt.Sprintf("trace: decode %s at byte %d: %v", e.Field, e.Offset, e.Err)
+	}
+	return fmt.Sprintf("trace: decode record %d %s at byte %d: %v", e.Record, e.Field, e.Offset, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// countingReader tracks the byte offset consumed so decode errors can
+// pinpoint the damage.
+type countingReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.off++
+	}
+	return b, err
+}
+
+func (c *countingReader) readFull(p []byte) error {
+	n, err := io.ReadFull(c.br, p)
+	c.off += int64(n)
+	return err
+}
 
 // Encode writes the trace to w in the binary format.
 func Encode(w io.Writer, s *Slice) error {
@@ -197,52 +249,75 @@ func Encode(w io.Writer, s *Slice) error {
 	return bw.Flush()
 }
 
-// Decode reads a binary trace written by Encode.
+// MaxRecords bounds the record count a decoded trace may claim.
+const MaxRecords = 1 << 31
+
+// maxInitialAlloc caps the capacity pre-allocated from the (untrusted)
+// record-count field, so a corrupt header cannot force a multi-gigabyte
+// allocation before the first record is even read. Larger traces still
+// decode; the slice grows as records actually arrive.
+const maxInitialAlloc = 1 << 20
+
+// Decode reads a binary trace written by Encode. Corrupt or truncated
+// input yields a *DecodeError locating the damage by byte offset; Decode
+// never panics and bounds its allocations regardless of what the length
+// fields claim.
 func Decode(r io.Reader) (*Slice, error) {
-	br := bufio.NewReader(r)
+	cr := &countingReader{br: bufio.NewReader(r)}
+	fail := func(rec int64, field string, err error) (*Slice, error) {
+		if err == io.EOF && (rec >= 0 || field != "magic") {
+			// EOF mid-stream is truncation, not a clean end.
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, &DecodeError{Offset: cr.off, Record: rec, Field: field, Err: err}
+	}
 	var hdr [8]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, err
+	if err := cr.readFull(hdr[:]); err != nil {
+		return fail(-1, "magic", err)
 	}
 	if hdr != magic {
-		return nil, ErrBadMagic
+		return fail(-1, "magic", ErrBadMagic)
 	}
-	n, err := binary.ReadUvarint(br)
+	n, err := binary.ReadUvarint(cr)
 	if err != nil {
-		return nil, err
+		return fail(-1, "count", err)
 	}
-	const maxRecords = 1 << 31
-	if n > maxRecords {
-		return nil, fmt.Errorf("trace: record count %d exceeds limit", n)
+	if n > MaxRecords {
+		return fail(-1, "count", fmt.Errorf("record count %d exceeds limit %d", n, uint64(MaxRecords)))
 	}
-	s := &Slice{Records: make([]Record, 0, n)}
+	capHint := n
+	if capHint > maxInitialAlloc {
+		capHint = maxInitialAlloc
+	}
+	s := &Slice{Records: make([]Record, 0, capHint)}
 	var prevIP, prevAddr uint64
 	for i := uint64(0); i < n; i++ {
-		dip, err := binary.ReadVarint(br)
+		ri := int64(i)
+		dip, err := binary.ReadVarint(cr)
 		if err != nil {
-			return nil, fmt.Errorf("trace: record %d ip: %w", i, err)
+			return fail(ri, "ip", err)
 		}
-		daddr, err := binary.ReadVarint(br)
+		daddr, err := binary.ReadVarint(cr)
 		if err != nil {
-			return nil, fmt.Errorf("trace: record %d addr: %w", i, err)
+			return fail(ri, "addr", err)
 		}
-		kindByte, err := br.ReadByte()
+		kindByte, err := cr.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("trace: record %d kind: %w", i, err)
+			return fail(ri, "kind", err)
 		}
 		if kindByte > uint8(Store) {
-			return nil, fmt.Errorf("trace: record %d invalid kind %d", i, kindByte)
+			return fail(ri, "kind", fmt.Errorf("invalid kind %d", kindByte))
 		}
-		nonMem, err := binary.ReadUvarint(br)
+		nonMem, err := binary.ReadUvarint(cr)
 		if err != nil {
-			return nil, fmt.Errorf("trace: record %d nonmem: %w", i, err)
+			return fail(ri, "nonmem", err)
 		}
 		if nonMem > 1<<32-1 {
-			return nil, fmt.Errorf("trace: record %d nonmem %d overflows", i, nonMem)
+			return fail(ri, "nonmem", fmt.Errorf("count %d overflows uint32", nonMem))
 		}
-		depDist, err := br.ReadByte()
+		depDist, err := cr.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("trace: record %d depdist: %w", i, err)
+			return fail(ri, "depdist", err)
 		}
 		prevIP += uint64(dip)
 		prevAddr += uint64(daddr)

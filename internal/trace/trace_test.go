@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand"
 	"reflect"
@@ -59,8 +60,13 @@ func TestEncodeDecodeEmpty(t *testing.T) {
 }
 
 func TestDecodeBadMagic(t *testing.T) {
-	if _, err := Decode(bytes.NewReader([]byte("NOTATRACEFILE!!!"))); err != ErrBadMagic {
+	_, err := Decode(bytes.NewReader([]byte("NOTATRACEFILE!!!")))
+	if !errors.Is(err, ErrBadMagic) {
 		t.Fatalf("expected ErrBadMagic, got %v", err)
+	}
+	var de *DecodeError
+	if !errors.As(err, &de) || de.Field != "magic" {
+		t.Fatalf("expected *DecodeError for field magic, got %#v", err)
 	}
 }
 

@@ -8,9 +8,25 @@
 package vm
 
 import (
+	"fmt"
+
+	"github.com/bertisim/berti/internal/check"
 	"github.com/bertisim/berti/internal/obs"
 	"github.com/bertisim/berti/internal/stats"
 )
+
+// ConfigError reports an invalid MMU/TLB configuration.
+type ConfigError struct {
+	// Field names the offending parameter ("DTLBEntries", ...).
+	Field string
+	// Reason describes the constraint that failed.
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("vm: invalid %s: %s", e.Field, e.Reason)
+}
 
 // PageShift is log2 of the OS page size (4 KB pages).
 const PageShift = 12
@@ -72,17 +88,35 @@ type TLB struct {
 	lruClock uint64
 }
 
-// NewTLB returns a TLB with the given geometry. entries must be divisible
-// by ways.
-func NewTLB(entries, ways int) *TLB {
+// NewTLB returns a TLB with the given geometry: entries must be positive
+// and divisible by ways.
+func NewTLB(entries, ways int) (*TLB, error) {
+	if ways <= 0 {
+		return nil, &ConfigError{Field: "ways", Reason: fmt.Sprintf("must be >= 1, got %d", ways)}
+	}
+	if entries <= 0 {
+		return nil, &ConfigError{Field: "entries", Reason: fmt.Sprintf("must be >= 1, got %d", entries)}
+	}
 	if entries%ways != 0 {
-		panic("vm: TLB entries not divisible by ways")
+		return nil, &ConfigError{Field: "entries",
+			Reason: fmt.Sprintf("%d entries not divisible by %d ways", entries, ways)}
 	}
 	return &TLB{
 		sets:    entries / ways,
 		ways:    ways,
 		entries: make([]tlbEntry, entries),
+	}, nil
+}
+
+// MustNewTLB builds a TLB from a geometry known to be valid (tests,
+// compiled-in defaults). It panics on an invalid geometry; user-supplied
+// configurations must go through NewTLB.
+func MustNewTLB(entries, ways int) *TLB {
+	t, err := NewTLB(entries, ways)
+	if err != nil {
+		panic(err)
 	}
+	return t
 }
 
 func (t *TLB) set(vpn uint64) []tlbEntry {
@@ -146,6 +180,28 @@ func DefaultMMUConfig() MMUConfig {
 	}
 }
 
+// Validate checks the configuration's internal consistency. It returns a
+// *ConfigError describing the first violated constraint, or nil.
+func (c MMUConfig) Validate() error {
+	checkGeom := func(prefix string, entries, ways int) error {
+		if ways <= 0 {
+			return &ConfigError{Field: prefix + "Ways", Reason: fmt.Sprintf("must be >= 1, got %d", ways)}
+		}
+		if entries <= 0 {
+			return &ConfigError{Field: prefix + "Entries", Reason: fmt.Sprintf("must be >= 1, got %d", entries)}
+		}
+		if entries%ways != 0 {
+			return &ConfigError{Field: prefix + "Entries",
+				Reason: fmt.Sprintf("%d entries not divisible by %d ways", entries, ways)}
+		}
+		return nil
+	}
+	if err := checkGeom("DTLB", c.DTLBEntries, c.DTLBWays); err != nil {
+		return err
+	}
+	return checkGeom("STLB", c.STLBEntries, c.STLBWays)
+}
+
 // MMU combines the page table and the TLB hierarchy for one core.
 type MMU struct {
 	cfg   MMUConfig
@@ -160,14 +216,27 @@ type MMU struct {
 // SetTracer attaches a structured event tracer (nil disables tracing).
 func (m *MMU) SetTracer(t *obs.Tracer) { m.tr = t }
 
-// NewMMU builds the translation path for one core.
-func NewMMU(cfg MMUConfig, seed uint64) *MMU {
+// NewMMU builds the translation path for one core, validating cfg first.
+func NewMMU(cfg MMUConfig, seed uint64) (*MMU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	return &MMU{
 		cfg:  cfg,
 		pt:   NewPageTable(seed),
-		dtlb: NewTLB(cfg.DTLBEntries, cfg.DTLBWays),
-		stlb: NewTLB(cfg.STLBEntries, cfg.STLBWays),
+		dtlb: MustNewTLB(cfg.DTLBEntries, cfg.DTLBWays),
+		stlb: MustNewTLB(cfg.STLBEntries, cfg.STLBWays),
+	}, nil
+}
+
+// MustNewMMU builds an MMU from a configuration known to be valid (tests,
+// compiled-in defaults). It panics on an invalid cfg.
+func MustNewMMU(cfg MMUConfig, seed uint64) *MMU {
+	m, err := NewMMU(cfg, seed)
+	if err != nil {
+		panic(err)
 	}
+	return m
 }
 
 // TranslateDemand translates a demand access's virtual address and returns
@@ -217,3 +286,36 @@ func (m *MMU) TranslatePrefetch(vaddr uint64) (paddr uint64, latency uint64, ok 
 
 // PageTable exposes the underlying page table (used by tests).
 func (m *MMU) PageTable() *PageTable { return m.pt }
+
+// checkTLB reports duplicate VPNs within a set (tlb-dup) and entries whose
+// translation disagrees with the page table (tlb-map).
+func (m *MMU) checkTLB(t *TLB, name string, cycle uint64, report func(check.Violation)) {
+	for s := 0; s < t.sets; s++ {
+		set := t.entries[s*t.ways : (s+1)*t.ways]
+		for i := range set {
+			if !set[i].valid {
+				continue
+			}
+			if pfn, ok := m.pt.frames[set[i].vpn]; ok && pfn != set[i].pfn {
+				report(check.Violation{Rule: check.RuleTLBMap, Component: name, Cycle: cycle,
+					Detail: fmt.Sprintf("vpn %#x cached as pfn %#x, page table says %#x",
+						set[i].vpn, set[i].pfn, pfn)})
+			}
+			for j := i + 1; j < len(set); j++ {
+				if set[j].valid && set[j].vpn == set[i].vpn {
+					report(check.Violation{Rule: check.RuleTLBDup, Component: name, Cycle: cycle,
+						Detail: fmt.Sprintf("vpn %#x present in ways %d and %d of set %d",
+							set[i].vpn, i, j, s)})
+				}
+			}
+		}
+	}
+}
+
+// CheckInvariants verifies dTLB and STLB consistency: no duplicate entries
+// within a set, and every cached translation agreeing with the page table.
+// It never mutates state.
+func (m *MMU) CheckInvariants(name string, cycle uint64, report func(check.Violation)) {
+	m.checkTLB(m.dtlb, name+".dtlb", cycle, report)
+	m.checkTLB(m.stlb, name+".stlb", cycle, report)
+}

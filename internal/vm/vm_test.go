@@ -44,7 +44,7 @@ func TestPageTableSeedsDiffer(t *testing.T) {
 }
 
 func TestTLBHitMiss(t *testing.T) {
-	tlb := NewTLB(16, 4)
+	tlb := MustNewTLB(16, 4)
 	if _, ok := tlb.Lookup(5); ok {
 		t.Fatal("hit on empty TLB")
 	}
@@ -55,7 +55,7 @@ func TestTLBHitMiss(t *testing.T) {
 }
 
 func TestTLBLRUEviction(t *testing.T) {
-	tlb := NewTLB(4, 4) // single set
+	tlb := MustNewTLB(4, 4) // single set
 	for vpn := uint64(0); vpn < 4; vpn++ {
 		tlb.Insert(vpn*4, vpn) // same set (4 sets... with 4 ways 1 set)
 	}
@@ -68,7 +68,7 @@ func TestTLBLRUEviction(t *testing.T) {
 }
 
 func TestMMUDemandAlwaysTranslates(t *testing.T) {
-	m := NewMMU(DefaultMMUConfig(), 1)
+	m := MustNewMMU(DefaultMMUConfig(), 1)
 	p1, lat1 := m.TranslateDemand(0x1234_5678, 0)
 	if lat1 == 0 {
 		t.Fatal("first demand translation should cost a walk")
@@ -86,7 +86,7 @@ func TestMMUDemandAlwaysTranslates(t *testing.T) {
 }
 
 func TestMMUPrefetchDropsOnSTLBMiss(t *testing.T) {
-	m := NewMMU(DefaultMMUConfig(), 1)
+	m := MustNewMMU(DefaultMMUConfig(), 1)
 	if _, _, ok := m.TranslatePrefetch(0x9999_0000); ok {
 		t.Fatal("prefetch to untouched page should drop (STLB miss)")
 	}
@@ -103,12 +103,43 @@ func TestMMUPrefetchDropsOnSTLBMiss(t *testing.T) {
 // Property: physical addresses preserve the page offset and are unique per
 // page.
 func TestTranslationOffsetProperty(t *testing.T) {
-	m := NewMMU(DefaultMMUConfig(), 7)
+	m := MustNewMMU(DefaultMMUConfig(), 7)
 	f := func(vaddr uint64) bool {
 		p, _ := m.TranslateDemand(vaddr, 0)
 		return p&(PageSize-1) == vaddr&(PageSize-1)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMMUConfigValidate(t *testing.T) {
+	if err := DefaultMMUConfig().Validate(); err != nil {
+		t.Fatalf("default config must validate: %v", err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*MMUConfig)
+		field  string
+	}{
+		{"dtlb ways", func(c *MMUConfig) { c.DTLBWays = 0 }, "DTLBWays"},
+		{"dtlb entries", func(c *MMUConfig) { c.DTLBEntries = 0 }, "DTLBEntries"},
+		{"dtlb divisibility", func(c *MMUConfig) { c.DTLBEntries = 63 }, "DTLBEntries"},
+		{"stlb ways", func(c *MMUConfig) { c.STLBWays = -1 }, "STLBWays"},
+		{"stlb divisibility", func(c *MMUConfig) { c.STLBEntries = 2047 }, "STLBEntries"},
+	} {
+		cfg := DefaultMMUConfig()
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		ce, ok := err.(*ConfigError)
+		if !ok || ce.Field != tc.field {
+			t.Fatalf("%s: got %v, want *ConfigError on %s", tc.name, err, tc.field)
+		}
+		if _, err := NewMMU(cfg, 1); err == nil {
+			t.Fatalf("%s: NewMMU must reject what Validate rejects", tc.name)
+		}
+	}
+	if _, err := NewTLB(63, 4); err == nil {
+		t.Fatal("NewTLB must reject non-divisible geometry")
 	}
 }
