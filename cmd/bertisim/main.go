@@ -5,9 +5,17 @@
 //
 //	bertisim -workload mcf_like_1554 -l1d berti
 //	bertisim -workload bfs-kron -l1d ipcp -l2 spp-ppf -records 500000
+//	bertisim -workload mcf_like_1554 -l1d berti -warmup 500000 -simulate 2000000
+//	bertisim -trace big.btr2 -skip 10000000 -l1d berti
 //	bertisim -workload mcf_like_1554 -l1d berti -interval 100000 \
 //	    -timeseries-out ts.csv -trace-out trace.json
 //	bertisim -list
+//
+// Windows: -warmup and -simulate override the scale's ChampSim-style
+// warmup/measurement instruction windows. -skip N fast-forwards a -trace
+// run N instructions before the windows begin; v2 containers (tracegen's
+// default output) seek through the chunk index without decompressing the
+// skipped region, v1 flat streams are scanned linearly.
 //
 // Observability: -interval N samples all counters every N retired
 // instructions into a per-interval time series (written to
@@ -29,10 +37,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -48,6 +58,7 @@ import (
 	"github.com/bertisim/berti/internal/prefetch"
 	"github.com/bertisim/berti/internal/sim"
 	"github.com/bertisim/berti/internal/trace"
+	"github.com/bertisim/berti/internal/tracestore"
 	"github.com/bertisim/berti/internal/workloads"
 )
 
@@ -66,6 +77,9 @@ func main() {
 	l2 := flag.String("l2", "", "L2 prefetcher (empty = none)")
 	dramCfg := flag.String("dram", "", "DRAM config: ddr5-6400 (default), ddr4-3200, ddr3-1600")
 	records := flag.Int("records", 0, "memory records to generate (0 = scale default)")
+	warmup := flag.Int64("warmup", -1, "warmup instructions before measurement (-1 = scale default)")
+	simulate := flag.Int64("simulate", -1, "measured instructions after warmup (-1 = scale default)")
+	skip := flag.Uint64("skip", 0, "instructions to fast-forward a -trace run before the windows start")
 	list := flag.Bool("list", false, "list workloads and prefetchers, then exit")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON (machine-readable)")
 	interval := flag.Uint64("interval", 0, "sample counters every N retired instructions (0 = sampling off)")
@@ -145,6 +159,20 @@ func main() {
 	if *records > 0 {
 		scale.MemRecords = *records
 	}
+	if *warmup >= 0 {
+		scale.WarmupInstr = uint64(*warmup)
+	}
+	if *simulate == 0 {
+		fmt.Fprintln(os.Stderr, "bertisim: -simulate must be > 0")
+		os.Exit(exitUsage)
+	}
+	if *simulate > 0 {
+		scale.SimInstr = uint64(*simulate)
+	}
+	if *skip > 0 && *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "bertisim: -skip only applies with -trace (generated workloads start at instruction 0)")
+		os.Exit(exitUsage)
+	}
 	h := harness.New(scale)
 
 	var checker *check.Checker
@@ -156,20 +184,9 @@ func main() {
 	var runErr, baseErr error
 	var elapsed time.Duration
 	if *traceFile != "" {
-		data, err := os.ReadFile(*traceFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(exitRunFailed)
-		}
-		if faultPlan != nil && faultPlan.TraceFault() {
-			data = faultPlan.MutateTrace(data, trace.MagicLen)
-		}
-		tr, err := trace.Decode(strings.NewReader(string(data)))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "decoding trace:", err)
-			os.Exit(exitRunFailed)
-		}
-		run := func(l1, l2 string, o *obs.Observer, ck *check.Checker, fp *fault.Plan) (*sim.Result, error) {
+		// runMachine wires one reader through the engine with this run's
+		// observability hooks; both the v1 and v2 paths share it.
+		runMachine := func(rd trace.Reader, l1, l2 string, o *obs.Observer, ck *check.Checker, fp *fault.Plan) (*sim.Result, error) {
 			cfg := sim.DefaultConfig()
 			cfg.WarmupInstructions = scale.WarmupInstr
 			cfg.SimInstructions = scale.SimInstr
@@ -190,7 +207,7 @@ func main() {
 				}
 				l2f = func() cache.Prefetcher { return e.New() }
 			}
-			m, err := sim.New(cfg, []trace.Reader{trace.NewLoopReader(tr)}, l1f, l2f)
+			m, err := sim.New(cfg, []trace.Reader{rd}, l1f, l2f)
 			if err != nil {
 				return nil, err
 			}
@@ -202,6 +219,61 @@ func main() {
 				m.SetFaultPlan(fp)
 			}
 			return m.Run()
+		}
+		var run func(l1, l2 string, o *obs.Observer, ck *check.Checker, fp *fault.Plan) (*sim.Result, error)
+		if sniffV2(*traceFile) {
+			if faultPlan != nil && faultPlan.TraceFault() {
+				fmt.Fprintln(os.Stderr, "bertisim: trace-level fault plans need a v1 trace (v2 chunks are CRC-checked; use tracegen -format v1)")
+				os.Exit(exitUsage)
+			}
+			tf, err := tracestore.Open(*traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bertisim:", err)
+				os.Exit(exitRunFailed)
+			}
+			defer tf.Close()
+			if *skip > 0 && *skip >= tf.Meta().Instructions {
+				fmt.Fprintf(os.Stderr, "bertisim: -skip %d is beyond the trace's %d instructions\n",
+					*skip, tf.Meta().Instructions)
+				os.Exit(exitUsage)
+			}
+			run = func(l1, l2 string, o *obs.Observer, ck *check.Checker, fp *fault.Plan) (*sim.Result, error) {
+				// Fresh window reader per run: the main and baseline runs each
+				// stream the file independently.
+				rd, err := tf.NewWindowReader(*skip, tracestore.ReaderOptions{Loop: true})
+				if err != nil {
+					return nil, err
+				}
+				defer rd.Close()
+				return runMachine(rd, l1, l2, o, ck, fp)
+			}
+		} else {
+			data, err := os.ReadFile(*traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(exitRunFailed)
+			}
+			if faultPlan != nil && faultPlan.TraceFault() {
+				data = faultPlan.MutateTrace(data, trace.MagicLen)
+			}
+			tr, err := trace.Decode(bytes.NewReader(data))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "decoding trace:", err)
+				os.Exit(exitRunFailed)
+			}
+			if *skip > 0 {
+				if *skip >= tr.Instructions() {
+					fmt.Fprintf(os.Stderr, "bertisim: -skip %d is beyond the trace's %d instructions\n",
+						*skip, tr.Instructions())
+					os.Exit(exitUsage)
+				}
+				// No chunk index in a v1 stream: scan to the same boundary
+				// FastForward lands on for v2.
+				tr.Records = tr.Records[skipIndex(tr, *skip):]
+			}
+			run = func(l1, l2 string, o *obs.Observer, ck *check.Checker, fp *fault.Plan) (*sim.Result, error) {
+				return runMachine(trace.NewLoopReader(tr), l1, l2, o, ck, fp)
+			}
 		}
 		start := time.Now()
 		res, runErr = run(*l1d, *l2, observer, checker, faultPlan)
@@ -285,6 +357,34 @@ func main() {
 		fmt.Printf("timeseries: %d intervals of %d instr (last: ipc=%.3f acc=%.3f)\n",
 			len(ts.Rows), ts.IntervalInstr, last.IPC, last.PfAccuracy)
 	}
+}
+
+// sniffV2 reports whether path starts with the v2 container magic. Errors
+// fall through to the v1 decoder, which reports them properly.
+func sniffV2(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	buf := make([]byte, tracestore.HeadMagicLen)
+	n, _ := io.ReadFull(f, buf)
+	return tracestore.IsV2Header(buf[:n])
+}
+
+// skipIndex returns the index of the first record whose retirement pushes
+// the cumulative instruction count past target — the same boundary
+// tracestore.(*File).FastForward seeks to, computed by linear scan.
+func skipIndex(tr *trace.Slice, target uint64) int {
+	var cum uint64
+	for i := range tr.Records {
+		cost := uint64(tr.Records[i].NonMemBefore) + 1
+		if cum+cost > target {
+			return i
+		}
+		cum += cost
+	}
+	return len(tr.Records)
 }
 
 // exitForError reports a failed run and exits with the code matching the

@@ -5,7 +5,14 @@
 //	experiments -list
 //	experiments -run Fig8L1DSpeedup[,Fig9PerTrace,...]
 //	experiments -all
+//	experiments -all -j 8 -corpus-dir ~/.cache/berti-traces
 //	BERTI_SCALE=quick experiments -all
+//
+// -corpus-dir enables the content-addressed trace corpus: generated
+// workload traces are persisted there as v2 containers and simulations
+// stream them from disk with bounded memory instead of regenerating and
+// holding every trace in RAM. -j (alias -workers) bounds concurrent
+// simulations.
 package main
 
 import (
@@ -23,6 +30,8 @@ func main() {
 	runIDs := flag.String("run", "", "comma-separated experiment IDs to run")
 	all := flag.Bool("all", false, "run every experiment")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
+	flag.IntVar(workers, "j", 0, "alias for -workers")
+	corpusDir := flag.String("corpus-dir", "", "cache generated traces here (v2 containers) and stream them from disk")
 	checkFlag := flag.Bool("check", false, "run the invariant checker on every simulation")
 	flag.Parse()
 
@@ -55,6 +64,7 @@ func main() {
 	if *workers > 0 {
 		h.Workers = *workers
 	}
+	h.CorpusDir = *corpusDir
 	h.EnableChecks = *checkFlag
 	fmt.Printf("scale=%s (%d mem records, %d warmup, %d measured instructions)\n\n",
 		h.Scale.Name, h.Scale.MemRecords, h.Scale.WarmupInstr, h.Scale.SimInstr)

@@ -24,6 +24,7 @@ import (
 	"github.com/bertisim/berti/internal/prefetch/oracle"
 	"github.com/bertisim/berti/internal/sim"
 	"github.com/bertisim/berti/internal/trace"
+	"github.com/bertisim/berti/internal/tracestore"
 	"github.com/bertisim/berti/internal/workloads"
 
 	// Populate the registries.
@@ -193,6 +194,14 @@ type Harness struct {
 	// EnableChecks attaches a fresh invariant checker to every run;
 	// violations fail the run (the CI quick suite runs with this on).
 	EnableChecks bool
+	// CorpusDir, when set, turns on the on-disk trace corpus: generated
+	// workload traces are written once as v2 containers (content-addressed
+	// by workload/records/seed) and every simulation streams records from
+	// disk through the tracestore decode pipeline instead of holding the
+	// whole trace in RAM. Runs that must see the full trace up front
+	// (oracle prefetchers, trace-level fault plans) fall back to the
+	// in-memory path.
+	CorpusDir string
 
 	mu       sync.Mutex
 	traces   map[string]*trace.Slice
@@ -201,6 +210,10 @@ type Harness struct {
 	failures []*RunError
 	sem      chan struct{}
 	semOnce  sync.Once
+
+	corpus     *tracestore.Corpus
+	corpusErr  error
+	corpusOnce sync.Once
 }
 
 // New builds a harness at the given scale.
@@ -247,6 +260,35 @@ func (h *Harness) Trace(name string, seed int64) (*trace.Slice, error) {
 	h.mu.Unlock()
 	return t, nil
 }
+
+// corpusCache lazily opens the on-disk corpus (CorpusDir must be set).
+func (h *Harness) corpusCache() (*tracestore.Corpus, error) {
+	h.corpusOnce.Do(func() {
+		h.corpus, h.corpusErr = tracestore.NewCorpus(h.CorpusDir)
+	})
+	return h.corpus, h.corpusErr
+}
+
+// corpusFile returns the opened v2 container for a workload, generating and
+// persisting it on first use. The generation parameters match Trace exactly
+// so streamed and in-memory runs see identical record sequences.
+func (h *Harness) corpusFile(name string, seed int64) (*tracestore.File, error) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, &SpecError{Field: "Workload", Name: name}
+	}
+	c, err := h.corpusCache()
+	if err != nil {
+		return nil, err
+	}
+	cfg := workloads.GenConfig{MemRecords: h.Scale.MemRecords, Seed: 42 + seed}
+	key := tracestore.Key{Workload: name, Records: cfg.MemRecords, Seed: cfg.Seed}
+	return c.Ensure(key, func() *trace.Slice { return w.Gen(cfg) })
+}
+
+// streamWorkers bounds each per-core decode pipeline: the harness already
+// runs many simulations concurrently, so individual readers stay narrow.
+const streamWorkers = 2
 
 // MustTrace is Trace for workload names known to be registered (tests,
 // benchmarks); it panics on lookup failure.
@@ -437,9 +479,12 @@ func (h *Harness) runOnce(spec RunSpec, opts RunOptions) (*sim.Result, error) {
 
 // run builds and executes the machine for one spec (unprotected).
 func (h *Harness) run(spec RunSpec, opts RunOptions) (*sim.Result, error) {
-	m, err := h.newMachine(spec, opts.Fault)
+	m, cleanup, err := h.newMachine(spec, opts.Fault)
 	if err != nil {
 		return nil, err
+	}
+	if cleanup != nil {
+		defer cleanup()
 	}
 	if opts.Observer != nil {
 		m.SetObserver(opts.Observer)
@@ -481,18 +526,33 @@ func (h *Harness) RunWith(spec RunSpec, opts RunOptions) (*sim.Result, error) {
 }
 
 // newMachine builds the fully-wired machine for one spec (traces are still
-// memoized; the machine itself is fresh). A trace-level fault plan damages
-// a private encoded copy of each trace, so decode failures surface here as
-// *trace.DecodeError and memoized pristine traces are never touched.
-func (h *Harness) newMachine(spec RunSpec, fp *fault.Plan) (*sim.Machine, error) {
+// memoized; the machine itself is fresh). With CorpusDir set, each core
+// streams its trace from the on-disk v2 container through a bounded decode
+// pipeline; the returned cleanup releases the streaming readers and file
+// handles after the run. Oracle prefetchers (which read the trace's
+// future) and trace-level fault plans (which damage a private encoded copy,
+// surfacing decode failures as *trace.DecodeError) keep the in-memory path.
+func (h *Harness) newMachine(spec RunSpec, fp *fault.Plan) (*sim.Machine, func(), error) {
 	cfg := sim.DefaultConfig()
 	var err error
 	cfg.DRAM, err = dramConfig(spec.DRAMCfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cfg.WarmupInstructions = h.Scale.WarmupInstr
 	cfg.SimInstructions = h.Scale.SimInstr
+
+	stream := h.CorpusDir != "" && spec.L1DPf != "oracle" && (fp == nil || !fp.TraceFault())
+	var closers []func()
+	cleanup := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	fail := func(err error) (*sim.Machine, func(), error) {
+		cleanup()
+		return nil, nil, err
+	}
 
 	workloadTrace := func(w string, seed int64) (*trace.Slice, error) {
 		tr, err := h.Trace(w, seed)
@@ -504,31 +564,46 @@ func (h *Harness) newMachine(spec RunSpec, fp *fault.Plan) (*sim.Machine, error)
 		}
 		return tr, nil
 	}
-
-	var readers []trace.Reader
 	var traces []*trace.Slice
-	if len(spec.Mix) > 0 {
-		cfg.Cores = len(spec.Mix)
-		for i, w := range spec.Mix {
-			tr, err := workloadTrace(w, spec.Seed+int64(i))
+	makeReader := func(w string, seed int64) (trace.Reader, error) {
+		if stream {
+			f, err := h.corpusFile(w, seed)
 			if err != nil {
 				return nil, err
 			}
-			traces = append(traces, tr)
-			readers = append(readers, trace.NewLoopReader(tr))
+			rd := f.NewReader(tracestore.ReaderOptions{Loop: true, Workers: streamWorkers})
+			closers = append(closers, func() { rd.Close(); f.Close() })
+			return rd, nil
 		}
-	} else {
-		cfg.Cores = 1
-		tr, err := workloadTrace(spec.Workload, spec.Seed)
+		tr, err := workloadTrace(w, seed)
 		if err != nil {
 			return nil, err
 		}
 		traces = append(traces, tr)
-		readers = append(readers, trace.NewLoopReader(tr))
+		return trace.NewLoopReader(tr), nil
+	}
+
+	var readers []trace.Reader
+	if len(spec.Mix) > 0 {
+		cfg.Cores = len(spec.Mix)
+		for i, w := range spec.Mix {
+			rd, err := makeReader(w, spec.Seed+int64(i))
+			if err != nil {
+				return fail(err)
+			}
+			readers = append(readers, rd)
+		}
+	} else {
+		cfg.Cores = 1
+		rd, err := makeReader(spec.Workload, spec.Seed)
+		if err != nil {
+			return fail(err)
+		}
+		readers = append(readers, rd)
 	}
 	l1Factory, err := h.factory(spec.L1DPf, spec.BertiOverride)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if spec.L1DPf == "oracle" {
 		// The ideal L1D prefetcher reads the trace's future; each core
@@ -542,9 +617,13 @@ func (h *Harness) newMachine(spec RunSpec, fp *fault.Plan) (*sim.Machine, error)
 	}
 	l2Factory, err := h.factory(spec.L2Pf, nil)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
-	return sim.New(cfg, readers, l1Factory, l2Factory)
+	m, err := sim.New(cfg, readers, l1Factory, l2Factory)
+	if err != nil {
+		return fail(err)
+	}
+	return m, cleanup, nil
 }
 
 // damageTrace round-trips tr through the binary codec with the fault plan
@@ -559,21 +638,38 @@ func damageTrace(tr *trace.Slice, fp *fault.Plan) (*trace.Slice, error) {
 	return trace.Decode(bytes.NewReader(mutated))
 }
 
-// RunMany executes specs concurrently and returns results in order. A
-// failing run leaves a nil slot and contributes to the returned
-// *RunFailures; the other runs' results are still returned (the partial
-// results the robustness layer exists to preserve).
+// RunMany executes specs on a bounded worker pool (h.Workers goroutines,
+// not one per spec) and returns results in spec order regardless of
+// completion order. Each worker goes through the panic-safe Run path, so
+// one crashing simulation cannot take down its siblings: a failing run
+// leaves a nil slot and contributes to the returned *RunFailures while the
+// other runs' results are still returned (the partial results the
+// robustness layer exists to preserve).
 func (h *Harness) RunMany(specs []RunSpec) ([]*sim.Result, error) {
 	out := make([]*sim.Result, len(specs))
 	errs := make([]error, len(specs))
-	var wg sync.WaitGroup
-	for i := range specs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			out[i], errs[i] = h.Run(specs[i])
-		}(i)
+	workers := h.Workers
+	if workers < 1 {
+		workers = 1
 	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = h.Run(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	var fails *RunFailures
 	for i, err := range errs {

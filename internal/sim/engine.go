@@ -578,14 +578,23 @@ func (m *Machine) runUntil(cond func() bool) error {
 	return nil
 }
 
-// RunOnce is a convenience: build a single-core machine over tr and run it.
-func RunOnce(cfg Config, tr *trace.Slice, l1dPf, l2Pf PrefetcherFactory) (*Result, error) {
+// RunReader is the stream-first entry point: build a single-core machine
+// over any record source (an in-memory slice reader, a looping reader, or a
+// tracestore streaming reader) and run it. The engine never materializes
+// the trace; memory is bounded by whatever window the reader itself holds.
+func RunReader(cfg Config, rd trace.Reader, l1dPf, l2Pf PrefetcherFactory) (*Result, error) {
 	cfg.Cores = 1
-	m, err := New(cfg, []trace.Reader{trace.NewSliceReader(tr)}, l1dPf, l2Pf)
+	m, err := New(cfg, []trace.Reader{rd}, l1dPf, l2Pf)
 	if err != nil {
 		return nil, err
 	}
 	return m.Run()
+}
+
+// RunOnce is a convenience: build a single-core machine over an in-memory
+// trace and run it.
+func RunOnce(cfg Config, tr *trace.Slice, l1dPf, l2Pf PrefetcherFactory) (*Result, error) {
+	return RunReader(cfg, trace.NewSliceReader(tr), l1dPf, l2Pf)
 }
 
 // MustRunOnce is RunOnce for configurations and traces known to be good

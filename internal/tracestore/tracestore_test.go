@@ -1,0 +1,402 @@
+package tracestore
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/bertisim/berti/internal/trace"
+	"github.com/bertisim/berti/internal/workloads"
+
+	_ "github.com/bertisim/berti/internal/workloads/cloudlike"
+	_ "github.com/bertisim/berti/internal/workloads/gap"
+	_ "github.com/bertisim/berti/internal/workloads/speclike"
+)
+
+// synthSlice builds a deterministic trace with varied deltas, kinds,
+// NonMemBefore runs, and dependences.
+func synthSlice(n int, seed uint64) *trace.Slice {
+	s := &trace.Slice{Records: make([]trace.Record, 0, n)}
+	x := seed*2862933555777941757 + 3037000493
+	for i := 0; i < n; i++ {
+		x = x*2862933555777941757 + 3037000493
+		s.Append(trace.Record{
+			IP:           0x400000 + (x>>7)%4096*21,
+			Addr:         0x1_0000_0000 + (x>>19)%(1<<24)*8,
+			Kind:         trace.Kind((x >> 3) & 1),
+			NonMemBefore: uint32((x >> 33) % 13),
+			DepDist:      uint8((x >> 45) % 7),
+		})
+	}
+	return s
+}
+
+// encodeV2 round-trips a slice into an opened in-memory container.
+func encodeV2(t *testing.T, s *trace.Slice, chunk uint32, name string) *File {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, s, Meta{Workload: name, ChunkRecords: chunk}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	f, err := OpenBytes(buf.Bytes())
+	if err != nil {
+		t.Fatalf("OpenBytes: %v", err)
+	}
+	return f
+}
+
+// drain reads a Reader to EOF.
+func drain(t *testing.T, r *Reader) []trace.Record {
+	t.Helper()
+	var out []trace.Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next after %d records: %v", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func sameRecords(t *testing.T, want, got []trace.Record, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d records, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: record %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestRoundTripAllWorkloads checks encode -> stream-decode identity against
+// the in-memory v1 path on every registered seed workload, through both the
+// synchronous and the parallel pipeline.
+func TestRoundTripAllWorkloads(t *testing.T) {
+	all := workloads.All()
+	if len(all) == 0 {
+		t.Fatal("no workloads registered")
+	}
+	records := 20_000
+	if testing.Short() {
+		records = 6_000
+	}
+	for _, w := range all {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			s := w.Gen(workloads.GenConfig{MemRecords: records, Seed: 42})
+
+			// v1 reference: the in-memory binary codec must agree.
+			var v1 bytes.Buffer
+			if err := trace.Encode(&v1, s); err != nil {
+				t.Fatalf("v1 encode: %v", err)
+			}
+			v1dec, err := trace.Decode(&v1)
+			if err != nil {
+				t.Fatalf("v1 decode: %v", err)
+			}
+			sameRecords(t, s.Records, v1dec.Records, "v1 round trip")
+
+			f := encodeV2(t, s, 1<<10, w.Name)
+			if m := f.Meta(); m.Records != uint64(len(s.Records)) || m.Instructions != s.Instructions() || m.Workload != w.Name {
+				t.Fatalf("meta = %+v, want %d records / %d instructions / %q",
+					m, len(s.Records), s.Instructions(), w.Name)
+			}
+			sameRecords(t, s.Records, drain(t, f.NewReader(ReaderOptions{Workers: 1})), "sync stream")
+			par := f.NewReader(ReaderOptions{Workers: 4})
+			sameRecords(t, s.Records, drain(t, par), "parallel stream")
+			all, err := f.ReadAll()
+			if err != nil {
+				t.Fatalf("ReadAll: %v", err)
+			}
+			sameRecords(t, s.Records, all.Records, "ReadAll")
+		})
+	}
+}
+
+// TestWindowFastForward checks that index-based fast-forward lands on the
+// exact record boundary a naive linear scan picks, including targets that
+// fall exactly on chunk boundaries.
+func TestWindowFastForward(t *testing.T) {
+	const chunk = 512
+	s := synthSlice(10*chunk+137, 7)
+	f := encodeV2(t, s, chunk, "ff")
+	total := s.Instructions()
+
+	// naive: first record index whose retirement exceeds target.
+	naive := func(target uint64) (int, uint64) {
+		var cum uint64
+		for i := range s.Records {
+			step := uint64(s.Records[i].NonMemBefore) + 1
+			if cum+step > target {
+				return i, cum
+			}
+			cum += step
+		}
+		return len(s.Records), cum
+	}
+	recordIndexOf := func(chunkIdx, skip int) int {
+		if chunkIdx >= f.Chunks() {
+			return int(f.Meta().Records)
+		}
+		return int(f.chunks[chunkIdx].StartRecord) + skip
+	}
+
+	targets := []uint64{0, 1, 57, total / 3, total / 2, total - 1, total, total + 1000}
+	// Exact chunk-boundary targets: the cumulative instruction count at
+	// each chunk's first record, and one instruction either side.
+	for i := 1; i < f.Chunks(); i++ {
+		si := f.chunks[i].StartInstr
+		targets = append(targets, si-1, si, si+1)
+	}
+	for _, target := range targets {
+		wantIdx, wantCum := naive(target)
+		chunkIdx, skip, startInstr, err := f.FastForward(target)
+		if err != nil {
+			t.Fatalf("FastForward(%d): %v", target, err)
+		}
+		if got := recordIndexOf(chunkIdx, skip); got != wantIdx || startInstr != wantCum {
+			t.Fatalf("FastForward(%d) = record %d (instr %d), want record %d (instr %d)",
+				target, got, startInstr, wantIdx, wantCum)
+		}
+		rd, err := f.NewWindowReader(target, ReaderOptions{Workers: 2})
+		if err != nil {
+			t.Fatalf("NewWindowReader(%d): %v", target, err)
+		}
+		sameRecords(t, s.Records[wantIdx:], drain(t, rd), "windowed stream")
+	}
+}
+
+// TestLoopParity checks the streaming loop reader against trace.LoopReader
+// across several wraps.
+func TestLoopParity(t *testing.T) {
+	s := synthSlice(700, 3)
+	f := encodeV2(t, s, 256, "loop")
+	want := trace.NewLoopReader(s)
+	got := f.NewReader(ReaderOptions{Workers: 3, Loop: true})
+	defer got.Close()
+	for i := 0; i < 5*len(s.Records)/2; i++ {
+		w, err := want.Next()
+		if err != nil {
+			t.Fatalf("LoopReader: %v", err)
+		}
+		g, err := got.Next()
+		if err != nil {
+			t.Fatalf("streaming loop at %d: %v", i, err)
+		}
+		if w != g {
+			t.Fatalf("record %d = %+v, want %+v", i, g, w)
+		}
+	}
+	if got.Loops() != 2 {
+		t.Fatalf("Loops = %d, want 2", got.Loops())
+	}
+}
+
+// TestEmptyTrace: zero records must round-trip and stream to immediate EOF,
+// looping or not (matching LoopReader's empty-slice behaviour).
+func TestEmptyTrace(t *testing.T) {
+	f := encodeV2(t, &trace.Slice{}, 0, "")
+	if f.Chunks() != 0 || f.Meta().Records != 0 {
+		t.Fatalf("empty trace: %d chunks, %d records", f.Chunks(), f.Meta().Records)
+	}
+	for _, opt := range []ReaderOptions{{Workers: 1}, {Workers: 2}, {Workers: 2, Loop: true}} {
+		r := f.NewReader(opt)
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("Next on empty (opts %+v) = %v, want EOF", opt, err)
+		}
+	}
+}
+
+// TestReaderClose: closing mid-stream stops the pipeline and poisons Next.
+func TestReaderClose(t *testing.T) {
+	f := encodeV2(t, synthSlice(5000, 9), 256, "close")
+	r := f.NewReader(ReaderOptions{Workers: 4, Loop: true})
+	for i := 0; i < 100; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrReaderClosed) {
+		t.Fatalf("Next after Close = %v, want ErrReaderClosed", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestCorpusEnsure: the cache generates once, reuses thereafter, and
+// regenerates a damaged entry.
+func TestCorpusEnsure(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := synthSlice(3000, 11)
+	gens := 0
+	gen := func() *trace.Slice { gens++; return s }
+	k := Key{Workload: "synthetic/x", Records: 3000, Seed: 42}
+
+	f1, err := c.Ensure(k, gen)
+	if err != nil {
+		t.Fatalf("Ensure (miss): %v", err)
+	}
+	sameRecords(t, s.Records, drain(t, f1.NewReader(ReaderOptions{Workers: 1})), "first Ensure")
+	f1.Close()
+	f2, err := c.Ensure(k, gen)
+	if err != nil {
+		t.Fatalf("Ensure (hit): %v", err)
+	}
+	f2.Close()
+	if gens != 1 {
+		t.Fatalf("generator ran %d times, want 1", gens)
+	}
+	// Distinct keys map to distinct files.
+	if c.Path(k) == c.Path(Key{Workload: "synthetic/x", Records: 3000, Seed: 43}) {
+		t.Fatal("different seeds share a cache path")
+	}
+
+	// Damage the entry: Ensure must regenerate, not fail.
+	path := c.Path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f3, err := c.Ensure(k, gen)
+	if err != nil {
+		t.Fatalf("Ensure (corrupt entry): %v", err)
+	}
+	sameRecords(t, s.Records, drain(t, f3.NewReader(ReaderOptions{Workers: 1})), "regenerated entry")
+	f3.Close()
+	if gens != 2 {
+		t.Fatalf("generator ran %d times after corruption, want 2", gens)
+	}
+	// No temp litter.
+	matches, err := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("temp files left behind: %v", matches)
+	}
+}
+
+// failingWriter errors after n bytes (disk-full simulation).
+type failingWriter struct {
+	n    int
+	fail error
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, w.fail
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// TestWriterShortWrite: a failing sink must surface through Append/Close,
+// never silently truncate.
+func TestWriterShortWrite(t *testing.T) {
+	s := synthSlice(4096, 5)
+	wantErr := errors.New("disk full")
+	for _, budget := range []int{0, 4, 2000} {
+		fw := &failingWriter{n: budget, fail: wantErr}
+		tw, err := NewWriter(fw, Meta{ChunkRecords: 512})
+		if budget < len(headMagic) {
+			if err == nil {
+				t.Fatalf("budget %d: NewWriter succeeded", budget)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("budget %d: NewWriter: %v", budget, err)
+		}
+		for i := range s.Records {
+			tw.Append(s.Records[i])
+		}
+		if err := tw.Close(); !errors.Is(err, wantErr) {
+			t.Fatalf("budget %d: Close = %v, want %v", budget, err, wantErr)
+		}
+		if tw.Err() == nil {
+			t.Fatalf("budget %d: Err() nil after failed write", budget)
+		}
+	}
+}
+
+// TestOpenRejectsDamage: structural damage must yield *FormatError, and a
+// v1 stream must be rejected with ErrNotV2.
+func TestOpenRejectsDamage(t *testing.T) {
+	s := synthSlice(2000, 13)
+	var buf bytes.Buffer
+	if err := Write(&buf, s, Meta{ChunkRecords: 256, Workload: "dmg"}); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	if _, err := OpenBytes(valid); err != nil {
+		t.Fatalf("valid container rejected: %v", err)
+	}
+
+	check := func(label string, data []byte, want error) {
+		t.Helper()
+		_, err := OpenBytes(data)
+		if err == nil {
+			t.Fatalf("%s: accepted", label)
+		}
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Fatalf("%s: error %v is not *FormatError", label, err)
+		}
+		if want != nil && !errors.Is(err, want) {
+			t.Fatalf("%s: error %v, want %v", label, err, want)
+		}
+	}
+	mut := func(i int) []byte {
+		d := append([]byte(nil), valid...)
+		d[i] ^= 0xff
+		return d
+	}
+	var v1 bytes.Buffer
+	if err := trace.Encode(&v1, s); err != nil {
+		t.Fatal(err)
+	}
+	check("v1 stream", v1.Bytes(), ErrNotV2)
+	check("bad head magic", mut(0), ErrNotV2)
+	check("bad tail magic", mut(len(valid)-1), ErrBadTrailer)
+	check("damaged index", mut(len(valid)-trailerLen-50), ErrChecksum)
+	check("truncated footer", valid[:len(valid)-trailerLen-10], nil)
+	check("truncated to header", valid[:HeadMagicLen], nil)
+
+	// A flipped payload byte passes Open (footer is intact) but must fail
+	// the chunk CRC at decode time.
+	d := mut(HeadMagicLen + 3)
+	f, err := OpenBytes(d)
+	if err != nil {
+		t.Fatalf("payload damage rejected at Open (footer is intact): %v", err)
+	}
+	if _, err := f.NewReader(ReaderOptions{Workers: 1}).Next(); err == nil {
+		t.Fatal("damaged chunk decoded cleanly")
+	} else if !errors.Is(err, ErrChecksum) {
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Fatalf("damaged chunk error %v is not *FormatError", err)
+		}
+	}
+}
