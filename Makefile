@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench experiments vet fmt loc
+.PHONY: all build test test-short bench bench-engine experiments vet fmt loc
 
 all: build vet test
 
@@ -22,6 +22,11 @@ test-short:
 # One iteration of every benchmark (each regenerates a paper table/figure).
 bench:
 	go test -bench=. -benchmem -benchtime=1x ./...
+
+# Engine throughput: ticked vs event-horizon scheduler -> BENCH_engine.json
+# (kinstr/s per workload x prefetcher x scheduler, with speedup ratios).
+bench-engine:
+	go run ./cmd/benchengine -o BENCH_engine.json
 
 # Regenerate the paper's full evaluation (BERTI_SCALE=quick|default|full).
 experiments:

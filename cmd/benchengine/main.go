@@ -1,0 +1,168 @@
+// Command benchengine measures raw engine throughput under both schedulers
+// and writes the comparison to BENCH_engine.json.
+//
+// Usage:
+//
+//	benchengine                     # quick matrix -> BENCH_engine.json
+//	benchengine -o /tmp/bench.json -reps 5
+//	BERTI_SCALE=default benchengine
+//
+// The matrix crosses a memory-bound and a compute-bound workload with
+// prefetching off and on (Berti at L1D), under the exhaustive ticked
+// scheduler and the event-horizon scheduler. Each cell reports kinstr/s
+// (simulated instructions, warmup included, per wall second; best of -reps)
+// and the horizon cells additionally report speedup over the matching
+// ticked cell. Every paired run is also byte-compared: a stats divergence
+// between schedulers fails the whole command, so the benchmark doubles as a
+// coarse differential check at benchmark scale.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/bertisim/berti/internal/harness"
+	"github.com/bertisim/berti/internal/sim"
+)
+
+type cell struct {
+	Workload   string  `json:"workload"`
+	Class      string  `json:"class"` // membound | computebound
+	Prefetcher string  `json:"prefetcher"`
+	Scheduler  string  `json:"scheduler"`
+	KInstrPerS float64 `json:"kinstr_per_s"`
+	Cycles     uint64  `json:"cycles"`
+	IPC        float64 `json:"ipc"`
+	Speedup    float64 `json:"speedup_vs_ticked,omitempty"`
+}
+
+type report struct {
+	Scale       string    `json:"scale"`
+	MemRecords  int       `json:"mem_records"`
+	WarmupInstr uint64    `json:"warmup_instr"`
+	SimInstr    uint64    `json:"sim_instr"`
+	Reps        int       `json:"reps"`
+	GeneratedAt time.Time `json:"generated_at"`
+	Cells       []cell    `json:"cells"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_engine.json", "output path")
+	reps := flag.Int("reps", 3, "repetitions per cell (best is kept)")
+	flag.Parse()
+
+	scale := harness.ScaleQuick
+	if os.Getenv("BERTI_SCALE") != "" {
+		scale = harness.ScaleFromEnv()
+	}
+	rep := report{
+		Scale:       scale.Name,
+		MemRecords:  scale.MemRecords,
+		WarmupInstr: scale.WarmupInstr,
+		SimInstr:    scale.SimInstr,
+		Reps:        *reps,
+		GeneratedAt: time.Now().UTC(),
+	}
+
+	workloads := []struct{ name, class string }{
+		{"mcf_like_1554", "membound"},
+		{"deepsjeng_like", "computebound"},
+	}
+	for _, w := range workloads {
+		for _, pf := range []string{"", "berti"} {
+			var tickedCell *cell
+			var tickedJSON []byte
+			for _, sched := range []sim.Scheduler{sim.SchedTicked, sim.SchedHorizon} {
+				c, resJSON, err := measure(scale, w.name, w.class, pf, sched, *reps)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "benchengine:", err)
+					os.Exit(1)
+				}
+				if sched == sim.SchedTicked {
+					tickedCell, tickedJSON = &c, resJSON
+				} else {
+					if !bytes.Equal(resJSON, tickedJSON) {
+						fmt.Fprintf(os.Stderr, "benchengine: schedulers diverged on %s pf=%q\n", w.name, pf)
+						os.Exit(1)
+					}
+					c.Speedup = c.KInstrPerS / tickedCell.KInstrPerS
+				}
+				rep.Cells = append(rep.Cells, c)
+				fmt.Printf("%-16s %-12s pf=%-6s %-8s %8.1f kinstr/s\n",
+					w.name, w.class, orNone(pf), sched, c.KInstrPerS)
+			}
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchengine:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchengine:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchengine:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// measure runs one matrix cell reps times and keeps the fastest wall time
+// (the least-perturbed sample). Stats are identical across reps — runs are
+// deterministic — so any rep's Result stands for the cell.
+func measure(scale harness.Scale, workload, class, pf string, sched sim.Scheduler, reps int) (cell, []byte, error) {
+	h := harness.New(scale)
+	h.Scheduler = sched
+	spec := harness.RunSpec{Workload: workload, L1DPf: pf}
+	if _, err := h.Trace(workload, 0); err != nil {
+		return cell{}, nil, err
+	}
+	best := time.Duration(1<<63 - 1)
+	var res *sim.Result
+	var instr uint64
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		out, err := h.RunWith(spec, harness.RunOptions{})
+		elapsed := time.Since(start)
+		if err != nil {
+			return cell{}, nil, fmt.Errorf("%s pf=%q %s: %w", workload, pf, sched, err)
+		}
+		if elapsed < best {
+			best = elapsed
+			res = out
+			instr = scale.WarmupInstr
+			for i := range out.Cores {
+				instr += out.Cores[i].Core.Instructions
+			}
+		}
+	}
+	resJSON, err := json.Marshal(res)
+	if err != nil {
+		return cell{}, nil, err
+	}
+	return cell{
+		Workload:   workload,
+		Class:      class,
+		Prefetcher: orNone(pf),
+		Scheduler:  sched.String(),
+		KInstrPerS: float64(instr) / 1e3 / best.Seconds(),
+		Cycles:     res.Cycles,
+		IPC:        res.IPC(),
+	}, resJSON, nil
+}
+
+func orNone(pf string) string {
+	if pf == "" {
+		return "none"
+	}
+	return pf
+}

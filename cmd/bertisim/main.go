@@ -89,7 +89,13 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	checkFlag := flag.Bool("check", false, "run the invariant checker alongside the simulation")
 	faultSpec := flag.String("fault-plan", "", "inject deterministic faults: kind[:key=value,...] (kinds: corrupt-record, truncate, drop-fill, delay-fill, dup-line, pq-orphan)")
+	schedFlag := flag.String("sched", "horizon", "engine scheduler: horizon (event-horizon skipping) or ticked (exhaustive per-cycle reference)")
 	flag.Parse()
+	sched, err := sim.ParseScheduler(*schedFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bertisim:", err)
+		os.Exit(exitUsage)
+	}
 
 	var faultPlan *fault.Plan
 	if *faultSpec != "" {
@@ -174,6 +180,7 @@ func main() {
 		os.Exit(exitUsage)
 	}
 	h := harness.New(scale)
+	h.Scheduler = sched
 
 	var checker *check.Checker
 	if runChecked {
@@ -211,6 +218,7 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
+			m.SetScheduler(sched)
 			m.SetObserver(o)
 			if ck != nil {
 				m.SetChecker(ck, 0, 0)

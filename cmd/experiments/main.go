@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"github.com/bertisim/berti/internal/harness"
+	"github.com/bertisim/berti/internal/sim"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 	flag.IntVar(workers, "j", 0, "alias for -workers")
 	corpusDir := flag.String("corpus-dir", "", "cache generated traces here (v2 containers) and stream them from disk")
 	checkFlag := flag.Bool("check", false, "run the invariant checker on every simulation")
+	schedFlag := flag.String("sched", "horizon", "engine scheduler: horizon (event-horizon skipping) or ticked (exhaustive per-cycle reference)")
 	flag.Parse()
 
 	if *list {
@@ -66,6 +68,12 @@ func main() {
 	}
 	h.CorpusDir = *corpusDir
 	h.EnableChecks = *checkFlag
+	sched, err := sim.ParseScheduler(*schedFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	h.Scheduler = sched
 	fmt.Printf("scale=%s (%d mem records, %d warmup, %d measured instructions)\n\n",
 		h.Scale.Name, h.Scale.MemRecords, h.Scale.WarmupInstr, h.Scale.SimInstr)
 	failed := 0

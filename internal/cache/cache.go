@@ -1203,6 +1203,65 @@ func (c *Cache) Promote(lineAddr uint64) {
 	}
 }
 
+// never is the quiescent horizon (sim.Never).
+const never = ^uint64(0)
+
+// NextEventCycle reports the earliest future cycle at which this level can
+// change state on its own: a fill whose data has a known arrival cycle, or a
+// queued request coming out of its notBefore delay. Queue entries that are
+// already past due force an immediate horizon (processing may be blocked by
+// ports, MSHR pressure, or a full lower level — conditions the per-cycle
+// retry loop owns, so no cycle may be skipped while they hold). MSHR entries
+// still waiting on the lower level carry no horizon here: the response is
+// the lower component's event, and the engine re-queries after every tick.
+func (c *Cache) NextEventCycle(now uint64) uint64 {
+	h := never
+	for _, r := range c.rq {
+		if r.notBefore <= now {
+			return now
+		}
+		if r.notBefore < h {
+			h = r.notBefore
+		}
+	}
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if !m.valid || !m.dataReady {
+			continue
+		}
+		if m.readyCycle <= now {
+			return now
+		}
+		if m.readyCycle < h {
+			h = m.readyCycle
+		}
+	}
+	// wq, pq, and sendQ are head-gated: entries behind the head cannot be
+	// reached before the head itself is processed (an event).
+	if len(c.wq) > 0 {
+		if nb := c.wq[0].notBefore; nb <= now {
+			return now
+		} else if nb < h {
+			h = nb
+		}
+	}
+	if len(c.pq) > 0 {
+		if nb := c.pq[0].notBefore; nb <= now {
+			return now
+		} else if nb < h {
+			h = nb
+		}
+	}
+	if len(c.sendQ) > 0 {
+		if nb := c.sendQ[0].notBefore; nb <= now {
+			return now
+		} else if nb < h {
+			h = nb
+		}
+	}
+	return h
+}
+
 // Drained reports whether all queues and MSHRs are empty.
 func (c *Cache) Drained() bool {
 	if len(c.rq) > 0 || len(c.wq) > 0 || len(c.pq) > 0 || len(c.sendQ) > 0 {

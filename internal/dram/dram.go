@@ -325,3 +325,64 @@ func (c *Channel) Promote(lineAddr uint64) {
 
 // Pending reports whether any request is queued (used to drain simulations).
 func (c *Channel) Pending() bool { return len(c.rq) > 0 || len(c.wq) > 0 }
+
+// never is the quiescent horizon (sim.Never).
+const never = ^uint64(0)
+
+// NextEventCycle reports the earliest future cycle at which the channel can
+// change state on its own: a transfer winning the data bus, or a queued
+// request whose bank becomes ready for a command. An idle channel is fully
+// quiescent — the write-drain flag is recomputed from queue occupancy at the
+// start of every Tick, so its stale value is unobservable across a skip.
+func (c *Channel) NextEventCycle(now uint64) uint64 {
+	if len(c.rq) == 0 && len(c.wq) == 0 && len(c.transfers) == 0 {
+		return never
+	}
+	h := never
+	for i := range c.transfers {
+		e := c.transfers[i].eligible
+		if e < c.busFree {
+			e = c.busFree
+		}
+		if e <= now {
+			return now
+		}
+		if e < h {
+			h = e
+		}
+	}
+	// Mirror Tick's hysteresis update to get the drain flag's value at the
+	// next executed tick: it depends only on queue occupancy (stable across
+	// a skip) and is idempotent after one application.
+	draining := c.draining
+	if len(c.wq)*c.cfg.WriteWatermarkDen >= c.cfg.WQSize*c.cfg.WriteWatermarkNum {
+		draining = true
+	}
+	if len(c.wq) == 0 || (draining && len(c.wq) < c.cfg.WQSize/4) {
+		draining = false
+	}
+	// While draining (with writes queued), reads are not issued; otherwise
+	// writes are only issued when no reads wait. A flip of either condition
+	// requires a queue-occupancy change, which is itself an event.
+	if !draining {
+		for _, r := range c.rq {
+			b, _ := c.decode(r.LineAddr)
+			if e := c.banks[b].ready; e <= now {
+				return now
+			} else if e < h {
+				h = e
+			}
+		}
+	}
+	if draining || len(c.rq) == 0 {
+		for _, r := range c.wq {
+			b, _ := c.decode(r.LineAddr)
+			if e := c.banks[b].ready; e <= now {
+				return now
+			} else if e < h {
+				h = e
+			}
+		}
+	}
+	return h
+}

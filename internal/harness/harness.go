@@ -194,6 +194,11 @@ type Harness struct {
 	// EnableChecks attaches a fresh invariant checker to every run;
 	// violations fail the run (the CI quick suite runs with this on).
 	EnableChecks bool
+	// Scheduler selects the engine's main-loop strategy for every run
+	// (sim.SchedHorizon by default). Deliberately absent from the memo key:
+	// both schedulers are guaranteed byte-identical results, and the
+	// scheduler-differential suite enforces that guarantee.
+	Scheduler sim.Scheduler
 	// CorpusDir, when set, turns on the on-disk trace corpus: generated
 	// workload traces are written once as v2 containers (content-addressed
 	// by workload/records/seed) and every simulation streams records from
@@ -486,6 +491,7 @@ func (h *Harness) run(spec RunSpec, opts RunOptions) (*sim.Result, error) {
 	if cleanup != nil {
 		defer cleanup()
 	}
+	m.SetScheduler(h.Scheduler)
 	if opts.Observer != nil {
 		m.SetObserver(opts.Observer)
 	}

@@ -110,6 +110,78 @@ func (c *Core) Tick(cycle uint64) {
 	c.issue(cycle)
 }
 
+// NextEventCycle reports the earliest future cycle at which the core can
+// change state on its own: retiring the head entry, dispatching from the
+// trace, or issuing a memory operation whose producer's completion cycle is
+// already known. A core blocked on an in-flight fill reports no horizon for
+// it — the completion is the owning cache's event, and the engine re-queries
+// after every executed tick. Diagnostic counters that are not part of the
+// result surface (DepBlocked, IssueBlocked, LoadLatHist) are allowed to
+// diverge across skipped cycles; the counters in Stats are reconciled by
+// creditSkip.
+func (c *Core) NextEventCycle(now uint64) uint64 {
+	h := Never
+	if c.robCount > 0 {
+		e := &c.rob[c.robHead]
+		if !e.isMem {
+			return now // a non-mem run at the head retires next tick
+		}
+		if e.done {
+			if e.doneCycle <= now {
+				return now
+			}
+			if e.doneCycle < h {
+				h = e.doneCycle
+			}
+		}
+	}
+	// Dispatch: reading the next trace record is itself a state change, so
+	// only a full window with a record already pending is dispatch-quiescent.
+	if !c.traceDone && !c.pendingValid {
+		return now
+	}
+	if c.pendingValid && c.robInstrs < c.cfg.ROBSize {
+		return now
+	}
+	// Issue: scan for unissued memory operations. A producer still in
+	// flight (depReady unset) is the cache's event; a completed producer
+	// with a future completion cycle schedules the consumer's issue.
+	i := (c.robHead + c.issueSkip) % len(c.rob)
+	for n := c.issueSkip; n < c.robCount; n++ {
+		e := &c.rob[i]
+		i = (i + 1) % len(c.rob)
+		if !e.isMem || e.issued {
+			continue
+		}
+		if e.dep != 0 {
+			slot := (e.dep - 1) % depWindow
+			if !c.depReady[slot] {
+				continue
+			}
+			if d := c.depDone[slot]; d > now {
+				if d < h {
+					h = d
+				}
+				continue
+			}
+		}
+		return now // issuable (ports and RQ willing — both per-tick events)
+	}
+	return h
+}
+
+// creditSkip accounts n skipped no-op cycles in the counters SchedTicked
+// would have advanced every tick: the cycle count, and the ROB-full stall
+// count when the core is stalled with a record pending (the condition
+// dispatch re-evaluates per cycle; it cannot change across a quiescent
+// window because retirement and dispatch are both events).
+func (c *Core) creditSkip(n uint64) {
+	c.Stats.Cycles += n
+	if c.pendingValid && c.robInstrs >= c.cfg.ROBSize {
+		c.Stats.ROBFullStalls += n
+	}
+}
+
 // Done reports whether the core has exhausted its trace and window.
 func (c *Core) Done() bool {
 	return c.traceDone && !c.pendingValid && c.robCount == 0

@@ -17,8 +17,6 @@ import (
 // dramAdaptor bridges cache.Lower to the DRAM channel.
 type dramAdaptor struct {
 	ch *dram.Channel
-	// cycle is refreshed each tick so Accept* can timestamp.
-	cycle uint64
 }
 
 func (d *dramAdaptor) AcceptRead(r *cache.Req, cycle uint64) bool {
@@ -116,6 +114,13 @@ type Machine struct {
 	dramC *dram.Channel
 	cycle uint64
 
+	// sched selects the main-loop strategy (SchedHorizon by default);
+	// clocked lists every component for horizon queries, ordered so the
+	// cheapest likely-busy components are asked first (the scan early-exits
+	// on the first "next cycle" answer).
+	sched   Scheduler
+	clocked []Clocked
+
 	// Observability (nil = disabled; the per-tick cost of the disabled
 	// path is a single bool check in runUntil).
 	obsv       *obs.Observer
@@ -138,8 +143,12 @@ type Machine struct {
 	corruptApplied bool
 
 	// deadline bounds the run's wall-clock time (zero = unbounded).
-	deadline      time.Time
-	deadlineLimit time.Duration
+	// nextDeadlineCheck is the next cycle at which the wall clock is
+	// consulted (a tracked target rather than a modulus, so horizon jumps
+	// land on it instead of leaping over the stride boundary).
+	deadline          time.Time
+	deadlineLimit     time.Duration
+	nextDeadlineCheck uint64
 
 	// watchdogCycles overrides StallWatchdogCycles (0 = default).
 	watchdogCycles uint64
@@ -203,6 +212,16 @@ func New(cfg Config, traces []trace.Reader, l1dPf, l2Pf PrefetcherFactory) (*Mac
 		m.l1ds = append(m.l1ds, l1)
 		m.l2s = append(m.l2s, l2)
 		m.cores = append(m.cores, core)
+	}
+	for i := range m.l1ds {
+		m.clocked = append(m.clocked, m.l1ds[i])
+	}
+	for i := range m.l2s {
+		m.clocked = append(m.clocked, m.l2s[i])
+	}
+	m.clocked = append(m.clocked, m.llc, m.dramC)
+	for i := range m.cores {
+		m.clocked = append(m.clocked, m.cores[i])
 	}
 	return m, nil
 }
@@ -535,44 +554,81 @@ const StallWatchdogCycles = 2_000_000
 // deadlineStride is how many cycles pass between wall-clock checks.
 const deadlineStride = 1 << 14
 
-// runUntil ticks the machine until cond holds, with a progress watchdog, a
-// wall-clock deadline, and the periodic invariant sweep.
+// loopState carries runUntil's progress-watchdog bookkeeping across
+// afterCycle calls.
+type loopState struct {
+	lastProgress uint64
+	lastRetired  uint64
+	watchdog     uint64
+}
+
+// runUntil drives the machine until cond holds, with a progress watchdog, a
+// wall-clock deadline, and the periodic invariant sweep. Under SchedTicked
+// every cycle is executed; under SchedHorizon the loop jumps the clock over
+// stretches every component reports as quiescent, re-running the trigger
+// bookkeeping at the jump target (the jump is clamped so every trigger fires
+// at exactly the cycle it would under SchedTicked).
 func (m *Machine) runUntil(cond func() bool) error {
-	lastProgress := m.cycle
-	var lastRetired uint64
-	watchdog := m.watchdogCycles
-	if watchdog == 0 {
-		watchdog = StallWatchdogCycles
+	st := loopState{lastProgress: m.cycle, watchdog: m.watchdogCycles}
+	if st.watchdog == 0 {
+		st.watchdog = StallWatchdogCycles
 	}
+	m.nextDeadlineCheck = (m.cycle/deadlineStride + 1) * deadlineStride
 	for !cond() {
 		m.tick()
-		if m.sampling {
-			m.maybeSample()
+		if err := m.afterCycle(&st); err != nil {
+			return err
 		}
-		if m.faultPlan != nil {
-			m.maybeCorrupt()
+		if m.sched != SchedHorizon || cond() {
+			// cond is re-checked so a jump can never inflate the cycle
+			// counter after the tick that satisfies it.
+			continue
 		}
-		if m.checker != nil && m.cycle >= m.nextCheck {
-			m.checkAll(m.cycle)
-			m.nextCheck = m.cycle + m.checkInterval
+		if h := m.clampHorizon(m.horizon(), &st); h > m.cycle {
+			m.skipTo(h)
+			if err := m.afterCycle(&st); err != nil {
+				return err
+			}
 		}
-		if !m.deadline.IsZero() && m.cycle%deadlineStride == 0 && time.Now().After(m.deadline) {
+	}
+	return nil
+}
+
+// afterCycle runs the engine-level bookkeeping both schedulers share:
+// sampling, fault triggering, invariant sweeps, the wall-clock deadline, the
+// progress watchdog, and trace-reader failures. It observes m.cycle only, so
+// running it after a horizon jump is identical to running it after the
+// equivalent executed tick.
+func (m *Machine) afterCycle(st *loopState) error {
+	if m.sampling {
+		m.maybeSample()
+	}
+	if m.faultPlan != nil {
+		m.maybeCorrupt()
+	}
+	if m.checker != nil && m.cycle >= m.nextCheck {
+		m.checkAll(m.cycle)
+		m.nextCheck = m.cycle + m.checkInterval
+	}
+	if !m.deadline.IsZero() && m.cycle >= m.nextDeadlineCheck {
+		m.nextDeadlineCheck = (m.cycle/deadlineStride + 1) * deadlineStride
+		if time.Now().After(m.deadline) {
 			return &DeadlineError{Limit: m.deadlineLimit, Snapshot: m.snapshotState()}
 		}
-		var retired uint64
-		for _, c := range m.cores {
-			retired += c.RetiredTotal
-		}
-		if retired != lastRetired {
-			lastRetired = retired
-			lastProgress = m.cycle
-		} else if m.cycle-lastProgress > watchdog {
-			return &StallError{StallCycles: watchdog, Snapshot: m.snapshotState()}
-		}
-		for i, c := range m.cores {
-			if err := c.Err(); err != nil {
-				return &TraceReadError{Core: i, Err: err}
-			}
+	}
+	var retired uint64
+	for _, c := range m.cores {
+		retired += c.RetiredTotal
+	}
+	if retired != st.lastRetired {
+		st.lastRetired = retired
+		st.lastProgress = m.cycle
+	} else if m.cycle-st.lastProgress > st.watchdog {
+		return &StallError{StallCycles: st.watchdog, Snapshot: m.snapshotState()}
+	}
+	for i, c := range m.cores {
+		if err := c.Err(); err != nil {
+			return &TraceReadError{Core: i, Err: err}
 		}
 	}
 	return nil

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/bertisim/berti/internal/cache"
+	"github.com/bertisim/berti/internal/dram"
+)
+
+// Never is the horizon a quiescent component reports: no future cycle at
+// which it can change state without external stimulus.
+const Never = ^uint64(0)
+
+// Clocked is a component driven by the engine's clock. Tick advances it one
+// cycle; NextEventCycle reports the earliest future cycle (>= now) at which
+// the component could change observable state on its own — or Never when it
+// is quiescent and only external stimulus can wake it.
+//
+// The contract is a soundness obligation, not an exactness one: the reported
+// horizon must be a lower bound on the component's next autonomous state
+// change. Returning now is always correct (it just forfeits skipping);
+// returning a cycle later than the true next event is a bug, because the
+// engine will jump the clock past work the component should have done. The
+// engine re-queries every component after every executed tick, so events
+// caused by *other* components (a fill arriving from below, a request
+// enqueued from above) never need to appear in a component's own horizon.
+type Clocked interface {
+	Tick(cycle uint64)
+	NextEventCycle(now uint64) uint64
+}
+
+// Scheduler selects the engine's main-loop strategy.
+type Scheduler int
+
+const (
+	// SchedHorizon is the event-horizon scheduler (default): after each
+	// executed tick it computes the minimum NextEventCycle across all
+	// components and jumps the clock there when that minimum lies beyond
+	// the next cycle. Results are byte-identical to SchedTicked.
+	SchedHorizon Scheduler = iota
+	// SchedTicked is the exhaustive per-cycle reference loop: every
+	// component is ticked at every cycle. Kept as the differential oracle
+	// for the horizon scheduler.
+	SchedTicked
+)
+
+// String implements fmt.Stringer (flag rendering).
+func (s Scheduler) String() string {
+	switch s {
+	case SchedHorizon:
+		return "horizon"
+	case SchedTicked:
+		return "ticked"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+// ParseScheduler resolves a -sched flag value ("" selects the default).
+func ParseScheduler(s string) (Scheduler, error) {
+	switch s {
+	case "", "horizon":
+		return SchedHorizon, nil
+	case "ticked":
+		return SchedTicked, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown scheduler %q (want ticked or horizon)", s)
+	}
+}
+
+// SetScheduler selects the main-loop strategy. Must be called before Run.
+func (m *Machine) SetScheduler(s Scheduler) { m.sched = s }
+
+// Compile-time checks that every engine component satisfies Clocked.
+var (
+	_ Clocked = (*Core)(nil)
+	_ Clocked = (*cache.Cache)(nil)
+	_ Clocked = (*dram.Channel)(nil)
+)
+
+// horizon returns the minimum NextEventCycle across all components, early-
+// exiting as soon as any component reports the next cycle (no skip possible).
+func (m *Machine) horizon() uint64 {
+	h := Never
+	for _, c := range m.clocked {
+		if e := c.NextEventCycle(m.cycle); e < h {
+			if e <= m.cycle {
+				return m.cycle
+			}
+			h = e
+		}
+	}
+	return h
+}
+
+// clampHorizon bounds a horizon jump by every engine-level trigger that must
+// fire at an exact cycle: the invariant-check sweep, an unapplied fault
+// plan's trigger, the wall-clock deadline stride, and the stall watchdog.
+// The watchdog clamp also guarantees the jump is finite when every component
+// reports Never.
+func (m *Machine) clampHorizon(h uint64, st *loopState) uint64 {
+	if limit := st.lastProgress + st.watchdog + 1; h > limit {
+		h = limit
+	}
+	if m.checker != nil && h > m.nextCheck {
+		h = m.nextCheck
+	}
+	if m.faultPlan != nil && !m.corruptApplied && h > m.faultPlan.After {
+		h = m.faultPlan.After
+	}
+	if !m.deadline.IsZero() && h > m.nextDeadlineCheck {
+		h = m.nextDeadlineCheck
+	}
+	if h < m.cycle {
+		h = m.cycle
+	}
+	return h
+}
+
+// skipTo advances the clock to cycle h without executing the intervening
+// ticks, crediting each core's per-cycle stall accounting so the skipped
+// no-op ticks leave the same statistics they would have under SchedTicked.
+func (m *Machine) skipTo(h uint64) {
+	n := h - m.cycle
+	for _, c := range m.cores {
+		c.creditSkip(n)
+	}
+	m.cycle = h
+}
