@@ -33,11 +33,13 @@
 //
 // Exit codes: 0 success; 1 runtime failure (I/O, stall, corrupt trace);
 // 2 usage error (unknown workload/prefetcher, bad flags, bad fault plan);
-// 3 invariant violations detected.
+// 3 invariant violations detected; 130 interrupted by SIGINT/SIGTERM (the
+// first signal cancels the run cooperatively, a second exits immediately).
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -46,7 +48,9 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/bertisim/berti/internal/cache"
@@ -64,10 +68,11 @@ import (
 
 // Exit codes (see package comment).
 const (
-	exitOK         = 0
-	exitRunFailed  = 1
-	exitUsage      = 2
-	exitViolations = 3
+	exitOK          = 0
+	exitRunFailed   = 1
+	exitUsage       = 2
+	exitViolations  = 3
+	exitInterrupted = 130
 )
 
 func main() {
@@ -179,8 +184,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bertisim: -skip only applies with -trace (generated workloads start at instruction 0)")
 		os.Exit(exitUsage)
 	}
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the run at the
+	// engine's next poll stride; a second signal exits immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "\nbertisim: %v: cancelling run (send again to exit immediately)\n", s)
+		cancel()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "bertisim: second signal: exiting immediately")
+		os.Exit(exitInterrupted)
+	}()
+
 	h := harness.New(scale)
 	h.Scheduler = sched
+	h.SetContext(ctx)
 
 	var checker *check.Checker
 	if runChecked {
@@ -219,6 +240,7 @@ func main() {
 				return nil, err
 			}
 			m.SetScheduler(sched)
+			m.SetContext(ctx)
 			m.SetObserver(o)
 			if ck != nil {
 				m.SetChecker(ck, 0, 0)
@@ -313,6 +335,10 @@ func main() {
 		exitForError(runErr, checker)
 	}
 	if baseErr != nil {
+		if sim.IsCancel(baseErr) {
+			fmt.Fprintln(os.Stderr, "bertisim: run interrupted during the baseline; no report was produced")
+			os.Exit(exitInterrupted)
+		}
 		fmt.Fprintln(os.Stderr, "bertisim: baseline run failed:", baseErr)
 		os.Exit(exitRunFailed)
 	}
@@ -400,6 +426,10 @@ func skipIndex(tr *trace.Slice, target uint64) int {
 // recorded violations) so scripts can distinguish "the simulator broke" from
 // "the simulator caught breakage".
 func exitForError(err error, checker *check.Checker) {
+	if sim.IsCancel(err) {
+		fmt.Fprintln(os.Stderr, "bertisim: run interrupted before completion; no report was produced")
+		os.Exit(exitInterrupted)
+	}
 	var ve *check.ViolationError
 	if errors.As(err, &ve) {
 		fmt.Fprintf(os.Stderr, "bertisim: %d invariant violation(s) detected\n", ve.Total)

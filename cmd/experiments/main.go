@@ -6,25 +6,61 @@
 //	experiments -run Fig8L1DSpeedup[,Fig9PerTrace,...]
 //	experiments -all
 //	experiments -all -j 8 -corpus-dir ~/.cache/berti-traces
+//	experiments -all -journal campaign.journal -json-out results.json
+//	experiments -all -journal campaign.journal -resume
 //	BERTI_SCALE=quick experiments -all
 //
 // -corpus-dir enables the content-addressed trace corpus: generated
 // workload traces are persisted there as v2 containers and simulations
 // stream them from disk with bounded memory instead of regenerating and
 // holding every trace in RAM. -j (alias -workers) bounds concurrent
-// simulations.
+// simulations. -run-timeout bounds each individual run's wall clock (a
+// runaway simulation surfaces as a DeadlineError naming its spec instead
+// of wedging the campaign).
+//
+// Crash safety: -journal records every completed run (append-only,
+// CRC-protected, atomically written) the moment it finishes; -resume loads
+// the journal and skips finished work, so a campaign interrupted at hour N
+// re-executes only what is missing. The first SIGINT/SIGTERM cancels the
+// campaign cooperatively — in-flight runs drain, the journal is flushed,
+// and a partial report is printed with a resume hint; a second signal
+// exits immediately. -json-out writes a deterministic machine-readable
+// report of every completed run (sorted by run key), byte-identical
+// between an uninterrupted campaign and an interrupted-then-resumed one.
+//
+// Exit codes: 0 success; 1 one or more runs failed (reports may be
+// partial); 2 usage error; 130 interrupted by signal.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sort"
 	"strings"
+	"syscall"
 	"time"
 
+	"github.com/bertisim/berti/internal/campaign"
 	"github.com/bertisim/berti/internal/harness"
 	"github.com/bertisim/berti/internal/sim"
 )
+
+// ReportSchemaVersion governs the -json-out shape.
+const ReportSchemaVersion = 1
+
+// campaignReport is the -json-out payload: every completed run, keyed and
+// sorted by the harness memo key so the bytes are deterministic.
+type campaignReport struct {
+	SchemaVersion int              `json:"schema_version"`
+	Scale         harness.Scale    `json:"scale"`
+	Partial       bool             `json:"partial,omitempty"`
+	Runs          []campaign.Entry `json:"runs"`
+}
 
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
@@ -35,6 +71,10 @@ func main() {
 	corpusDir := flag.String("corpus-dir", "", "cache generated traces here (v2 containers) and stream them from disk")
 	checkFlag := flag.Bool("check", false, "run the invariant checker on every simulation")
 	schedFlag := flag.String("sched", "horizon", "engine scheduler: horizon (event-horizon skipping) or ticked (exhaustive per-cycle reference)")
+	journalPath := flag.String("journal", "", "journal completed runs to this file (crash-safe campaign log)")
+	resume := flag.Bool("resume", false, "load the -journal and skip already-completed runs")
+	runTimeout := flag.Duration("run-timeout", 0, "per-run wall-clock budget (0 = 10m default, negative disables)")
+	jsonOut := flag.String("json-out", "", "write a deterministic JSON report of every completed run to this file")
 	flag.Parse()
 
 	if *list {
@@ -61,6 +101,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *resume && *journalPath == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume requires -journal")
+		os.Exit(2)
+	}
 
 	h := harness.New(harness.ScaleFromEnv())
 	if *workers > 0 {
@@ -68,30 +112,152 @@ func main() {
 	}
 	h.CorpusDir = *corpusDir
 	h.EnableChecks = *checkFlag
+	h.RunTimeout = *runTimeout
 	sched, err := sim.ParseScheduler(*schedFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
 	h.Scheduler = sched
+
+	// The crash-safe campaign log: every completed run is journaled as it
+	// finishes; -resume seeds the memo cache so finished work is skipped.
+	var journal *campaign.Journal
+	if *journalPath != "" {
+		if *resume {
+			journal, err = campaign.OpenOrCreate(*journalPath, h.Scale)
+		} else {
+			journal, err = campaign.Create(*journalPath, h.Scale)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		journal.Attach(h)
+		if *resume {
+			if d := journal.Dropped(); d > 0 {
+				fmt.Fprintf(os.Stderr, "experiments: journal had %d damaged tail record(s); truncated, those runs re-execute\n", d)
+			}
+			if n := journal.Seed(h); n > 0 {
+				fmt.Fprintf(os.Stderr, "experiments: resume: %d completed run(s) loaded from %s\n", n, *journalPath)
+			}
+		}
+	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the campaign
+	// context — in-flight simulations stop at the engine's next poll
+	// stride, the worker pool drains, and the journal keeps everything
+	// that finished. A second signal exits immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "\nexperiments: %v: cancelling campaign; in-flight runs are draining (send again to exit immediately)\n", s)
+		cancel()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "experiments: second signal: exiting immediately")
+		os.Exit(130)
+	}()
+	h.SetContext(ctx)
+
 	fmt.Printf("scale=%s (%d mem records, %d warmup, %d measured instructions)\n\n",
 		h.Scale.Name, h.Scale.MemRecords, h.Scale.WarmupInstr, h.Scale.SimInstr)
 	failed := 0
+	interrupted := false
 	for _, e := range selected {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		start := time.Now()
 		fmt.Printf("--- %s (%s) ---\n", e.ID, e.Paper)
-		before := len(h.Failures())
 		e.Run(h, os.Stdout)
 		fmt.Printf("[%s took %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		// Experiments render from the surviving runs; report what was lost
 		// so a partially-failed artifact is never mistaken for a clean one.
-		for _, f := range h.Failures()[before:] {
+		// Failures are scoped per experiment (ResetFailures below), capped
+		// by the harness with the overflow reported as suppressed.
+		for _, f := range h.Failures() {
 			failed++
+			var dle *sim.DeadlineError
+			if errors.As(f, &dle) {
+				fmt.Fprintf(os.Stderr, "experiments: %s: run-timeout %v exceeded by spec %s (cycle %d; raise -run-timeout or lower BERTI_SCALE)\n",
+					e.ID, dle.Limit, f.Spec.Key(), dle.Snapshot.Cycle)
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "experiments: %s: run failed: %v\n", e.ID, f)
 		}
+		if n := h.SuppressedFailures(); n > 0 {
+			failed += n
+			fmt.Fprintf(os.Stderr, "experiments: %s: ... and %d more failure(s) suppressed (cap %d)\n",
+				e.ID, n, harness.DefaultMaxFailures)
+		}
+		h.ResetFailures()
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
+	}
+
+	if journal != nil {
+		if err := journal.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: journal writes failed (campaign is NOT resumable): %v\n", err)
+			failed++
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeReport(*jsonOut, h, interrupted); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: writing -json-out:", err)
+			os.Exit(1)
+		}
+	}
+	if interrupted {
+		fmt.Println("*** PARTIAL REPORT: campaign interrupted before completion ***")
+		if journal != nil {
+			fmt.Printf("*** %d completed run(s) are journaled; resume with: experiments -journal %s -resume ***\n",
+				journal.Len(), *journalPath)
+		} else {
+			fmt.Println("*** no journal was active; rerun with -journal FILE to make campaigns resumable ***")
+		}
+		os.Exit(130)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: %d run(s) failed; reports above may be partial\n", failed)
 		os.Exit(1)
 	}
+}
+
+// writeReport emits the deterministic campaign report: every memoized
+// completed run sorted by key. An interrupted campaign is marked partial;
+// a completed one (resumed or not) produces byte-identical output for the
+// same scale and run set.
+func writeReport(path string, h *harness.Harness, partial bool) error {
+	results := h.Results()
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rep := campaignReport{
+		SchemaVersion: ReportSchemaVersion,
+		Scale:         h.Scale,
+		Partial:       partial,
+		Runs:          make([]campaign.Entry, 0, len(keys)),
+	}
+	for _, k := range keys {
+		rep.Runs = append(rep.Runs, campaign.Entry{Key: k, Result: results[k]})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	err = enc.Encode(rep)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

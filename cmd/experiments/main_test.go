@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestKillAndResume is the end-to-end crash-safety acceptance test: a
+// campaign interrupted by SIGINT and resumed from its journal must produce
+// a final JSON report byte-identical to an uninterrupted campaign — even
+// after the journal's tail is torn, which must cost only the torn record.
+//
+// AblCalibration is used because it is the cheapest registered experiment
+// with enough harness runs (~50 at quick scale) that a signal fired after
+// the first journaled run always interrupts real in-flight work.
+func TestKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the experiments binary three times")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "experiments")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building experiments binary: %v\n%s", err, out)
+	}
+	env := append(os.Environ(), "BERTI_SCALE=quick")
+	const expID = "AblCalibration"
+
+	// Reference: the same campaign run start to finish, no journal.
+	refJSON := filepath.Join(dir, "reference.json")
+	cmd := exec.Command(bin, "-run", expID, "-json-out", refJSON)
+	cmd.Env = env
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("uninterrupted campaign failed: %v\n%s", err, out)
+	}
+
+	// Interrupted: journal on, SIGINT once at least one run is journaled.
+	gotJSON := filepath.Join(dir, "resumed.json")
+	journal := filepath.Join(dir, "campaign.journal")
+	interrupted := exec.Command(bin, "-run", expID, "-journal", journal, "-json-out", gotJSON)
+	interrupted.Env = env
+	var conOut bytes.Buffer
+	interrupted.Stdout, interrupted.Stderr = &conOut, &conOut
+	if err := interrupted.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		// Header is line 1, so two newlines mean one journaled run.
+		if data, err := os.ReadFile(journal); err == nil && bytes.Count(data, []byte{'\n'}) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			interrupted.Process.Kill()
+			t.Fatalf("no run was journaled within the deadline\n%s", conOut.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := interrupted.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := interrupted.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 130 {
+		t.Fatalf("interrupted campaign must exit 130, got %v\n%s", err, conOut.String())
+	}
+	if !bytes.Contains(conOut.Bytes(), []byte("PARTIAL REPORT")) {
+		t.Fatalf("interrupted campaign must mark its report partial\n%s", conOut.String())
+	}
+	if !bytes.Contains(conOut.Bytes(), []byte("-resume")) {
+		t.Fatalf("interrupted campaign must print a resume hint\n%s", conOut.String())
+	}
+	if partial, err := os.ReadFile(gotJSON); err != nil || !bytes.Contains(partial, []byte(`"partial": true`)) {
+		t.Fatalf("interrupted -json-out must carry the partial flag (err=%v)", err)
+	}
+
+	// Tear the journal tail (a crash mid-append): resume must truncate the
+	// damaged record and re-run it, not fail.
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 40 {
+		t.Fatalf("journal implausibly small: %d bytes", len(data))
+	}
+	if err := os.WriteFile(journal, data[:len(data)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := exec.Command(bin, "-run", expID, "-journal", journal, "-resume", "-json-out", gotJSON)
+	resumed.Env = env
+	resOut, err := resumed.CombinedOutput()
+	if err != nil {
+		t.Fatalf("resumed campaign failed: %v\n%s", err, resOut)
+	}
+	if !bytes.Contains(resOut, []byte("damaged tail")) {
+		t.Fatalf("resume must report the truncated record\n%s", resOut)
+	}
+
+	want, err := os.ReadFile(refJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(gotJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("resumed report differs from the uninterrupted one (%d vs %d bytes)", len(want), len(got))
+	}
+}

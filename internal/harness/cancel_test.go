@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bertisim/berti/internal/sim"
+	"github.com/bertisim/berti/internal/trace"
+)
+
+// cancelSpecs builds a batch of distinct specs large enough that a
+// cancellation fired after the first completion always catches stragglers.
+func cancelSpecs() []RunSpec {
+	names := MemIntSuite("spec")
+	if len(names) > 4 {
+		names = names[:4]
+	}
+	var specs []RunSpec
+	for _, n := range names {
+		for _, pf := range []string{"", "next-line"} {
+			specs = append(specs, RunSpec{Workload: n, L1DPf: pf})
+		}
+	}
+	return specs
+}
+
+// TestRunManyCancelMidPool cancels a RunMany batch after the first result
+// completes: the pool must drain without leaking goroutines, completed
+// slots keep their results, cancelled slots carry the typed *CancelError,
+// and nothing cancelled is memoized or recorded as a failure.
+func TestRunManyCancelMidPool(t *testing.T) {
+	h := New(tinyScale)
+	h.Workers = 2
+	specs := cancelSpecs()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	h.OnResult = func(string, RunSpec, *sim.Result) { once.Do(cancel) }
+
+	before := runtime.NumGoroutine()
+	out, err := h.RunManyContext(ctx, specs)
+
+	// The pool must drain: every worker goroutine exits once the call
+	// returns (allow the runtime a moment to reap them).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Errorf("worker pool leaked goroutines: %d before, %d after drain", before, n)
+	}
+
+	var fails *RunFailures
+	if !errors.As(err, &fails) {
+		t.Fatalf("cancelled batch must return *RunFailures, got %v", err)
+	}
+	if len(fails.Cancelled) == 0 {
+		t.Fatal("cancellation after the first completion must leave cancelled runs")
+	}
+	if len(fails.Failed) != 0 {
+		t.Fatalf("cancelled runs must not be reported as failures: %v", fails.Failed)
+	}
+	if fails.Completed < 1 {
+		t.Fatal("the run that triggered the cancel must count as completed")
+	}
+
+	completed := 0
+	for _, r := range out {
+		if r != nil {
+			completed++
+		}
+	}
+	if completed != fails.Completed {
+		t.Fatalf("completed slots (%d) disagree with RunFailures.Completed (%d)", completed, fails.Completed)
+	}
+	for _, re := range fails.Cancelled {
+		if !sim.IsCancel(re) {
+			t.Fatalf("cancelled slot must unwrap to *sim.CancelError, got %v", re)
+		}
+		if !errors.Is(re, context.Canceled) {
+			t.Fatalf("cancelled slot must carry context.Canceled, got %v", re)
+		}
+	}
+
+	// Cancellations are not failures and are not memoized: the harness has
+	// recorded nothing, and re-running a cancelled spec executes it.
+	if got := h.Failures(); len(got) != 0 {
+		t.Fatalf("cancelled runs must not be recorded as harness failures: %v", got)
+	}
+	h.OnResult = nil
+	respec := fails.Cancelled[0].Spec
+	r, err := h.Run(respec)
+	if err != nil || r == nil {
+		t.Fatalf("cancelled spec must be re-runnable after cancellation: %v", err)
+	}
+}
+
+// TestRunContextPreCancelled: an already-cancelled context short-circuits
+// before a single cycle (or trace generation) happens, with the typed
+// error, and leaves no memoized or recorded state behind.
+func TestRunContextPreCancelled(t *testing.T) {
+	h := New(tinyScale)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := RunSpec{Workload: "roms_like", L1DPf: "next-line"}
+
+	start := time.Now()
+	r, err := h.RunContext(ctx, spec)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("pre-cancelled run should return immediately, took %v", elapsed)
+	}
+	if r != nil {
+		t.Fatal("cancelled run must not return a result")
+	}
+	var ce *sim.CancelError
+	if !errors.As(err, &ce) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want *sim.CancelError wrapping context.Canceled, got %v", err)
+	}
+	if len(h.Failures()) != 0 {
+		t.Fatalf("cancellation must not be recorded as a failure: %v", h.Failures())
+	}
+	if len(h.Results()) != 0 {
+		t.Fatal("cancellation must not be memoized")
+	}
+
+	// The same spec runs normally once the pressure is off.
+	if _, err := h.Run(spec); err != nil {
+		t.Fatalf("spec must run cleanly after a cancelled attempt: %v", err)
+	}
+}
+
+// TestSetContextFlowsToRun: the harness base context set by the campaign
+// driver governs plain Run/RunMany calls (the experiment code never sees a
+// context, yet Ctrl-C still stops it).
+func TestSetContextFlowsToRun(t *testing.T) {
+	h := New(tinyScale)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h.SetContext(ctx)
+	if _, err := h.Run(RunSpec{Workload: "roms_like"}); !sim.IsCancel(err) {
+		t.Fatalf("Run must observe the harness base context, got %v", err)
+	}
+	h.SetContext(context.Background())
+	if _, err := h.Run(RunSpec{Workload: "roms_like"}); err != nil {
+		t.Fatalf("restored context must run cleanly: %v", err)
+	}
+}
+
+// TestMachineCancelMidRun drives the engine directly with a context that
+// fires mid-simulation: the run must stop at a poll stride with the typed
+// error carrying an engine snapshot.
+func TestMachineCancelMidRun(t *testing.T) {
+	h := New(tinyScale)
+	tr := h.MustTrace("roms_like", 0)
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInstructions = tinyScale.WarmupInstr
+	cfg.SimInstructions = tinyScale.SimInstr
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m, err := sim.New(cfg, []trace.Reader{trace.NewLoopReader(tr)}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetContext(ctx)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err = m.Run()
+	if err == nil {
+		// The run legitimately beat the timer; nothing to assert.
+		t.Skip("run completed before cancellation fired")
+	}
+	var ce *sim.CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *sim.CancelError, got %v", err)
+	}
+	if ce.Snapshot.Cycle == 0 {
+		t.Error("cancel snapshot should capture a mid-run engine state")
+	}
+}

@@ -6,8 +6,10 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sync"
@@ -92,13 +94,21 @@ func (e *RunError) Unwrap() error { return e.Err }
 type RunFailures struct {
 	// Failed holds one *RunError per failing spec.
 	Failed []*RunError
+	// Cancelled holds the runs aborted by context cancellation. They are
+	// not failures: nothing is recorded on the harness and a resumed
+	// campaign re-executes them.
+	Cancelled []*RunError
 	// Completed counts the runs that succeeded.
 	Completed int
 }
 
 // Error implements error.
 func (e *RunFailures) Error() string {
-	msg := fmt.Sprintf("harness: %d of %d runs failed", len(e.Failed), len(e.Failed)+e.Completed)
+	total := len(e.Failed) + len(e.Cancelled) + e.Completed
+	msg := fmt.Sprintf("harness: %d of %d runs failed", len(e.Failed), total)
+	if n := len(e.Cancelled); n > 0 {
+		msg += fmt.Sprintf(" (%d cancelled)", n)
+	}
 	for i, f := range e.Failed {
 		if i == 3 {
 			msg += fmt.Sprintf("; ... (%d more)", len(e.Failed)-i)
@@ -114,13 +124,135 @@ func (e *RunFailures) Error() string {
 // watchdog usually catches first) burns this long.
 const DefaultRunTimeout = 10 * time.Minute
 
-// retryable reports whether a failure class is worth one retry. Config,
-// decode, and invariant errors are deterministic — retrying reproduces
-// them; panics and wall-clock deadline overruns may be environmental.
-func retryable(err error) bool {
+// Retry-policy defaults (see RetryPolicy).
+const (
+	DefaultRetryAttempts   = 2
+	DefaultRetryBackoff    = 50 * time.Millisecond
+	DefaultRetryMaxBackoff = 2 * time.Second
+)
+
+// RetryPolicy bounds how the harness re-executes transiently-failing runs:
+// up to MaxAttempts total executions with exponential backoff between them.
+// The jitter is deterministic — mixed from Seed, the spec key, and the
+// attempt number — so identical campaigns sleep identically and a resumed
+// campaign is reproducible.
+type RetryPolicy struct {
+	// MaxAttempts is the total execution budget per run, including the
+	// first attempt (0 selects DefaultRetryAttempts; 1 disables retries).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; each further retry
+	// doubles it (0 selects DefaultRetryBackoff).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (0 selects
+	// DefaultRetryMaxBackoff).
+	MaxBackoff time.Duration
+	// Seed drives the deterministic jitter added to each backoff.
+	Seed uint64
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return DefaultRetryAttempts
+	}
+	return p.MaxAttempts
+}
+
+// delay computes the backoff before retry number attempt (1-based: the
+// sleep between the first failure and the second execution): base doubled
+// per attempt, capped, plus deterministic jitter in [0, delay/2].
+func (p RetryPolicy) delay(key string, attempt int) time.Duration {
+	base, maxB := p.BaseBackoff, p.MaxBackoff
+	if base <= 0 {
+		base = DefaultRetryBackoff
+	}
+	if maxB <= 0 {
+		maxB = DefaultRetryMaxBackoff
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= maxB {
+			d = maxB
+			break
+		}
+	}
+	if d > maxB {
+		d = maxB
+	}
+	if half := uint64(d / 2); half > 0 {
+		d += time.Duration(splitmix64(p.Seed^hashKey(key)^uint64(attempt)) % (half + 1))
+	}
+	return d
+}
+
+// backoff sleeps the policy's delay, aborting early when ctx fires. It
+// reports whether the retry should proceed.
+func (p RetryPolicy) backoff(ctx context.Context, key string, attempt int) bool {
+	t := time.NewTimer(p.delay(key, attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// hashKey folds a spec key into 64 bits (FNV-1a) for the jitter mix.
+func hashKey(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix64 is the finalizer used to decorrelate the jitter inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// transient reports whether a failure class is worth retrying on attempt
+// number attempt (1-based). Deterministic classes — invalid specs/configs,
+// decode failures of in-memory bytes, invariant violations, simulated
+// hangs, cancellations — are never retried: re-executing reproduces them
+// exactly. Environmental classes are: corpus/trace I/O (a flaky disk, a
+// corrupt on-disk entry the corpus regenerates on the next attempt),
+// wall-clock deadline overruns (machine load), and panics on their first
+// occurrence only.
+func transient(err error, attempt int) bool {
+	if sim.IsCancel(err) {
+		return false
+	}
 	var pe *PanicError
-	var de *sim.DeadlineError
-	return errors.As(err, &pe) || errors.As(err, &de)
+	if errors.As(err, &pe) {
+		return attempt == 1 // retry a panic once, never chase a crash loop
+	}
+	var specErr *SpecError
+	var cfgErr *sim.ConfigError
+	var decErr *trace.DecodeError
+	var vioErr *check.ViolationError
+	var stallErr *sim.StallError
+	if errors.As(err, &specErr) || errors.As(err, &cfgErr) || errors.As(err, &decErr) ||
+		errors.As(err, &vioErr) || errors.As(err, &stallErr) {
+		return false
+	}
+	var dlErr *sim.DeadlineError
+	if errors.As(err, &dlErr) {
+		return true
+	}
+	// Corpus and trace-file I/O: path errors, syscall errors, short reads,
+	// and structural damage in an on-disk container (which Corpus.Ensure
+	// regenerates on the next attempt).
+	var pathErr *os.PathError
+	var sysErr *os.SyscallError
+	var fmtErr *tracestore.FormatError
+	return errors.As(err, &pathErr) || errors.As(err, &sysErr) || errors.As(err, &fmtErr) ||
+		errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe)
 }
 
 // Scale sizes the experiments. The paper simulates 50M warmup + 200M
@@ -174,6 +306,11 @@ type RunSpec struct {
 	Seed int64
 }
 
+// Key builds the memoization key. It is also the journal key the campaign
+// layer persists completed results under, so it must be stable across
+// process restarts (it is: a pure function of the spec's fields).
+func (s RunSpec) Key() string { return s.key() }
+
 // key builds the memoization key.
 func (s RunSpec) key() string {
 	k := fmt.Sprintf("w=%s|mix=%v|l1=%s|l2=%s|dram=%s|seed=%d", s.Workload, s.Mix, s.L1DPf, s.L2Pf, s.DRAMCfg, s.Seed)
@@ -207,14 +344,29 @@ type Harness struct {
 	// (oracle prefetchers, trace-level fault plans) fall back to the
 	// in-memory path.
 	CorpusDir string
+	// Retry bounds re-execution of transiently-failing runs (zero value =
+	// defaults: 2 attempts, 50ms exponential backoff capped at 2s).
+	Retry RetryPolicy
+	// MaxFailures caps the failures recorded verbatim (DefaultMaxFailures
+	// if 0, unbounded if negative); further failures only bump the
+	// suppressed counter so a pathological campaign cannot grow the slice
+	// without bound. Mirrors check.Checker.MaxRecorded.
+	MaxFailures int
+	// OnResult, when set, is invoked (outside the harness lock, possibly
+	// from concurrent workers) for every freshly-completed memoized run —
+	// the campaign journal's subscription point. Memo hits and seeded
+	// results do not fire it.
+	OnResult func(key string, spec RunSpec, r *sim.Result)
 
-	mu       sync.Mutex
-	traces   map[string]*trace.Slice
-	results  map[string]*sim.Result
-	errs     map[string]error
-	failures []*RunError
-	sem      chan struct{}
-	semOnce  sync.Once
+	mu         sync.Mutex
+	traces     map[string]*trace.Slice
+	results    map[string]*sim.Result
+	errs       map[string]error
+	failures   []*RunError
+	suppressed int
+	sem        chan struct{}
+	semOnce    sync.Once
+	ctx        context.Context
 
 	corpus     *tracestore.Corpus
 	corpusErr  error
@@ -232,16 +384,67 @@ func New(scale Scale) *Harness {
 	}
 }
 
-// Failures returns every run failure recorded so far, in completion order.
+// DefaultMaxFailures bounds the failures a harness records verbatim.
+const DefaultMaxFailures = 64
+
+// SetContext installs the base context every Run/RunSafe/RunMany call
+// observes (campaign-wide cancellation without threading a ctx through
+// every experiment's render function). A nil ctx restores
+// context.Background(). Call before starting the campaign.
+func (h *Harness) SetContext(ctx context.Context) {
+	h.mu.Lock()
+	h.ctx = ctx
+	h.mu.Unlock()
+}
+
+// context returns the installed base context (Background when unset).
+func (h *Harness) context() context.Context {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ctx == nil {
+		return context.Background()
+	}
+	return h.ctx
+}
+
+// Failures returns every run failure recorded so far (up to MaxFailures),
+// in completion order.
 func (h *Harness) Failures() []*RunError {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return append([]*RunError(nil), h.failures...)
 }
 
+// SuppressedFailures counts the failures dropped after the MaxFailures cap
+// filled — report them as "N more suppressed" next to Failures.
+func (h *Harness) SuppressedFailures() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.suppressed
+}
+
+// ResetFailures clears the recorded failures and the suppressed counter so
+// callers can scope failure reports per experiment (or per campaign stage)
+// instead of slicing an ever-growing list by index. Memoized error results
+// are untouched: a previously-failed spec still fails without re-running.
+func (h *Harness) ResetFailures() {
+	h.mu.Lock()
+	h.failures = nil
+	h.suppressed = 0
+	h.mu.Unlock()
+}
+
 func (h *Harness) recordFailure(e *RunError) {
 	h.mu.Lock()
-	h.failures = append(h.failures, e)
+	limit := h.MaxFailures
+	if limit == 0 {
+		limit = DefaultMaxFailures
+	}
+	if limit < 0 || len(h.failures) < limit {
+		h.failures = append(h.failures, e)
+	} else {
+		h.suppressed++
+	}
 	h.mu.Unlock()
 }
 
@@ -369,11 +572,21 @@ type RunOptions struct {
 	Fault *fault.Plan
 }
 
-// Run executes (or returns the memoized result of) one simulation. Both
-// outcomes are memoized: a failing spec returns the same error without
-// re-running. The failure (with panic recovery and the retry already
-// applied) is also recorded on the harness; see Failures.
+// Run executes (or returns the memoized result of) one simulation under
+// the harness's base context (see SetContext). Both outcomes are memoized:
+// a failing spec returns the same error without re-running. The failure
+// (with panic recovery and the retry policy already applied) is also
+// recorded on the harness; see Failures.
 func (h *Harness) Run(spec RunSpec) (*sim.Result, error) {
+	return h.RunContext(h.context(), spec)
+}
+
+// RunContext is Run with explicit cooperative cancellation: once ctx is
+// done the in-flight simulation stops at the engine's next poll stride and
+// the call returns an error chain holding a *sim.CancelError. Cancelled
+// runs are neither memoized nor recorded as failures — a resumed campaign
+// re-executes them.
+func (h *Harness) RunContext(ctx context.Context, spec RunSpec) (*sim.Result, error) {
 	key := spec.key()
 	h.mu.Lock()
 	if r, ok := h.results[key]; ok {
@@ -404,18 +617,48 @@ func (h *Harness) Run(spec RunSpec) (*sim.Result, error) {
 	if h.EnableChecks {
 		opts.Checker = check.New()
 	}
-	r, err := h.runProtected(spec, opts)
+	r, err := h.runProtected(ctx, spec, opts)
 	if err != nil {
-		h.mu.Lock()
-		h.errs[key] = err
-		h.mu.Unlock()
+		if !sim.IsCancel(err) {
+			h.mu.Lock()
+			h.errs[key] = err
+			h.mu.Unlock()
+		}
 		return nil, err
 	}
 
 	h.mu.Lock()
 	h.results[key] = r
 	h.mu.Unlock()
+	if h.OnResult != nil {
+		h.OnResult(key, spec, r)
+	}
 	return r, nil
+}
+
+// SeedResult pre-loads the memo cache with a completed result (the resume
+// path: journal entries become memo hits, so a re-invoked campaign skips
+// finished work). Seeded results do not fire OnResult — they are already
+// journaled.
+func (h *Harness) SeedResult(key string, r *sim.Result) {
+	if r == nil {
+		return
+	}
+	h.mu.Lock()
+	h.results[key] = r
+	h.mu.Unlock()
+}
+
+// Results returns a snapshot of every memoized completed run, keyed by
+// RunSpec.Key (the campaign report's source of truth).
+func (h *Harness) Results() map[string]*sim.Result {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]*sim.Result, len(h.results))
+	for k, r := range h.results {
+		out[k] = r
+	}
+	return out
 }
 
 // RunSafe is Run for result-rendering call sites: a failing run yields a
@@ -443,17 +686,27 @@ func placeholderResult(spec RunSpec) *sim.Result {
 }
 
 // runProtected executes one run with panic recovery, the wall-clock
-// deadline, and one retry for nondeterministic failure classes. Every
-// final failure is recorded on the harness.
-func (h *Harness) runProtected(spec RunSpec, opts RunOptions) (*sim.Result, error) {
+// deadline, and the retry policy applied to transient failure classes
+// (bounded attempts, exponential backoff with deterministic jitter). Every
+// final failure is recorded on the harness; cancellations are returned
+// unrecorded so the campaign layer can re-run them after a resume.
+func (h *Harness) runProtected(ctx context.Context, spec RunSpec, opts RunOptions) (*sim.Result, error) {
 	attempts := 0
 	for {
 		attempts++
-		res, err := h.runOnce(spec, opts)
+		res, err := h.runOnce(ctx, spec, opts)
 		if err == nil {
 			return res, nil
 		}
-		if attempts == 1 && retryable(err) {
+		if sim.IsCancel(err) {
+			// Not a failure: the campaign is shutting down. Never retried,
+			// never recorded, and RunContext skips memoization.
+			return res, err
+		}
+		if attempts < h.Retry.maxAttempts() && transient(err, attempts) {
+			if !h.Retry.backoff(ctx, spec.key(), attempts) {
+				return nil, &sim.CancelError{Cause: ctx.Err()}
+			}
 			continue
 		}
 		re := &RunError{Spec: spec, Attempts: attempts, Err: err}
@@ -478,12 +731,19 @@ func protect(f func() (*sim.Result, error)) (res *sim.Result, err error) {
 }
 
 // runOnce performs a single protected execution.
-func (h *Harness) runOnce(spec RunSpec, opts RunOptions) (*sim.Result, error) {
-	return protect(func() (*sim.Result, error) { return h.run(spec, opts) })
+func (h *Harness) runOnce(ctx context.Context, spec RunSpec, opts RunOptions) (*sim.Result, error) {
+	return protect(func() (*sim.Result, error) { return h.run(ctx, spec, opts) })
 }
 
 // run builds and executes the machine for one spec (unprotected).
-func (h *Harness) run(spec RunSpec, opts RunOptions) (*sim.Result, error) {
+func (h *Harness) run(ctx context.Context, spec RunSpec, opts RunOptions) (*sim.Result, error) {
+	if ctx != nil && ctx.Err() != nil {
+		// Already cancelled: skip the (potentially expensive) trace
+		// generation and machine build entirely. Memo hits were served
+		// before we got here, so a draining pool still returns finished
+		// work but starts nothing new.
+		return nil, &sim.CancelError{Cause: ctx.Err()}
+	}
 	m, cleanup, err := h.newMachine(spec, opts.Fault)
 	if err != nil {
 		return nil, err
@@ -492,6 +752,9 @@ func (h *Harness) run(spec RunSpec, opts RunOptions) (*sim.Result, error) {
 		defer cleanup()
 	}
 	m.SetScheduler(h.Scheduler)
+	if ctx != nil && ctx != context.Background() {
+		m.SetContext(ctx)
+	}
 	if opts.Observer != nil {
 		m.SetObserver(opts.Observer)
 	}
@@ -524,11 +787,16 @@ func (h *Harness) RunObserved(spec RunSpec, o *obs.Observer) (*sim.Result, error
 
 // RunWith executes one unmemoized simulation with the given options
 // (observability, invariant checking, fault injection). Failures get the
-// same protection as Run: panic recovery, deadline, one retry.
+// same protection as Run: panic recovery, deadline, the retry policy.
 func (h *Harness) RunWith(spec RunSpec, opts RunOptions) (*sim.Result, error) {
+	return h.RunWithContext(h.context(), spec, opts)
+}
+
+// RunWithContext is RunWith with explicit cooperative cancellation.
+func (h *Harness) RunWithContext(ctx context.Context, spec RunSpec, opts RunOptions) (*sim.Result, error) {
 	release := h.acquire()
 	defer release()
-	return h.runProtected(spec, opts)
+	return h.runProtected(ctx, spec, opts)
 }
 
 // newMachine builds the fully-wired machine for one spec (traces are still
@@ -652,6 +920,17 @@ func damageTrace(tr *trace.Slice, fp *fault.Plan) (*trace.Slice, error) {
 // other runs' results are still returned (the partial results the
 // robustness layer exists to preserve).
 func (h *Harness) RunMany(specs []RunSpec) ([]*sim.Result, error) {
+	return h.RunManyContext(h.context(), specs)
+}
+
+// RunManyContext is RunMany with cooperative cancellation. When ctx fires,
+// in-flight simulations stop at the engine's next poll stride, not-yet-
+// started specs are skipped without executing a cycle, and the pool drains
+// cleanly (every worker exits; no goroutine outlives the call). Results
+// completed before the cancellation keep their slots; cancelled slots are
+// nil and reported under RunFailures.Cancelled with the typed
+// *sim.CancelError.
+func (h *Harness) RunManyContext(ctx context.Context, specs []RunSpec) ([]*sim.Result, error) {
 	out := make([]*sim.Result, len(specs))
 	errs := make([]error, len(specs))
 	workers := h.Workers
@@ -668,7 +947,7 @@ func (h *Harness) RunMany(specs []RunSpec) ([]*sim.Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i], errs[i] = h.Run(specs[i])
+				out[i], errs[i] = h.RunContext(ctx, specs[i])
 			}
 		}()
 	}
@@ -689,10 +968,14 @@ func (h *Harness) RunMany(specs []RunSpec) ([]*sim.Result, error) {
 		if !errors.As(err, &re) {
 			re = &RunError{Spec: specs[i], Attempts: 1, Err: err}
 		}
-		fails.Failed = append(fails.Failed, re)
+		if sim.IsCancel(err) {
+			fails.Cancelled = append(fails.Cancelled, re)
+		} else {
+			fails.Failed = append(fails.Failed, re)
+		}
 	}
 	if fails != nil {
-		fails.Completed = len(specs) - len(fails.Failed)
+		fails.Completed = len(specs) - len(fails.Failed) - len(fails.Cancelled)
 		return out, fails
 	}
 	return out, nil

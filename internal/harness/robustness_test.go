@@ -1,15 +1,21 @@
 package harness
 
 import (
+	"context"
 	"errors"
+	"fmt"
+	"io"
+	"os"
 	"reflect"
 	"testing"
+	"time"
 
 	"github.com/bertisim/berti/internal/check"
 	"github.com/bertisim/berti/internal/core"
 	"github.com/bertisim/berti/internal/fault"
 	"github.com/bertisim/berti/internal/sim"
 	"github.com/bertisim/berti/internal/trace"
+	"github.com/bertisim/berti/internal/tracestore"
 )
 
 // faultScale is even smaller than tinyScale: fault runs are repeated per
@@ -198,14 +204,73 @@ func TestPanicBecomesError(t *testing.T) {
 	if pe.Value != "boom" || len(pe.Stack) == 0 {
 		t.Fatalf("panic value/stack not captured: %+v", pe)
 	}
-	if !retryable(err) {
-		t.Fatal("panics must be retryable (possibly environmental)")
+	if !transient(err, 1) {
+		t.Fatal("panics must be retryable on first occurrence (possibly environmental)")
 	}
-	if retryable(&SpecError{Field: "Workload", Name: "x"}) {
+	if transient(err, 2) {
+		t.Fatal("a second panic is a crash loop and must not be retried again")
+	}
+	if transient(&SpecError{Field: "Workload", Name: "x"}, 1) {
 		t.Fatal("spec errors are deterministic and must not be retried")
 	}
-	if !retryable(&sim.DeadlineError{}) {
+	if !transient(&sim.DeadlineError{}, 1) {
 		t.Fatal("deadline overruns must be retryable")
+	}
+}
+
+// TestRetryClassification pins the transient/deterministic split the retry
+// policy enforces: corpus I/O retries, everything reproducible does not.
+func TestRetryClassification(t *testing.T) {
+	transientErrs := []error{
+		&os.PathError{Op: "open", Path: "corpus/x.btr2", Err: errors.New("I/O error")},
+		os.NewSyscallError("read", errors.New("EIO")),
+		&tracestore.FormatError{Section: "chunk", Err: errors.New("crc mismatch")},
+		fmt.Errorf("reading chunk: %w", io.ErrUnexpectedEOF),
+		&sim.DeadlineError{},
+	}
+	for _, err := range transientErrs {
+		if !transient(err, 1) {
+			t.Errorf("%T (%v) must be classified transient", err, err)
+		}
+	}
+	deterministic := []error{
+		&sim.ConfigError{Field: "Cores", Reason: "must be >= 1"},
+		&trace.DecodeError{Offset: 12},
+		&check.ViolationError{Total: 1},
+		&sim.StallError{},
+		&sim.CancelError{Cause: context.Canceled},
+		&SpecError{Field: "Workload", Name: "x"},
+	}
+	for _, err := range deterministic {
+		if transient(err, 1) {
+			t.Errorf("%T (%v) must never be retried", err, err)
+		}
+	}
+	// Classification sees through the RunError/TraceReadError wrappers.
+	wrapped := &RunError{Spec: faultSpec, Attempts: 1,
+		Err: &sim.TraceReadError{Core: 0, Err: &trace.DecodeError{Offset: 3}}}
+	if transient(wrapped, 1) {
+		t.Error("a wrapped decode failure must stay deterministic")
+	}
+}
+
+// TestRetryBackoffDeterministic: the seeded jitter must make delays a pure
+// function of (seed, key, attempt), growing exponentially to the cap.
+func TestRetryBackoffDeterministic(t *testing.T) {
+	p := RetryPolicy{Seed: 7}
+	a := p.delay("k", 1)
+	if a != p.delay("k", 1) {
+		t.Fatal("identical inputs must give identical delays")
+	}
+	if p.delay("k", 1) == p.delay("other", 1) {
+		t.Fatal("jitter must vary across keys (seed-mixed)")
+	}
+	if d := p.delay("k", 20); d > DefaultRetryMaxBackoff+DefaultRetryMaxBackoff/2 {
+		t.Fatalf("delay must stay within cap+jitter, got %v", d)
+	}
+	base := RetryPolicy{Seed: 7, BaseBackoff: 100 * time.Millisecond, MaxBackoff: 10 * time.Second}
+	if d1, d2 := base.delay("k", 1), base.delay("k", 3); d2 < 2*d1-base.BaseBackoff {
+		t.Fatalf("backoff must grow exponentially: attempt1=%v attempt3=%v", d1, d2)
 	}
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -143,12 +144,19 @@ type Machine struct {
 	corruptApplied bool
 
 	// deadline bounds the run's wall-clock time (zero = unbounded).
-	// nextDeadlineCheck is the next cycle at which the wall clock is
-	// consulted (a tracked target rather than a modulus, so horizon jumps
-	// land on it instead of leaping over the stride boundary).
+	// nextDeadlineCheck is the next cycle at which the wall clock and the
+	// cancellation context are consulted (a tracked target rather than a
+	// modulus, so horizon jumps land on it instead of leaping over the
+	// stride boundary).
 	deadline          time.Time
 	deadlineLimit     time.Duration
 	nextDeadlineCheck uint64
+
+	// ctx, when non-nil, is polled for cooperative cancellation at the
+	// same stride as the wall-clock deadline: no per-cycle cost, and under
+	// the horizon scheduler jumps are clamped to the poll boundary so a
+	// quiescent stretch cannot defer the check.
+	ctx context.Context
 
 	// watchdogCycles overrides StallWatchdogCycles (0 = default).
 	watchdogCycles uint64
@@ -313,6 +321,26 @@ func (m *Machine) SetDeadline(d time.Duration) {
 	}
 }
 
+// SetContext arms cooperative cancellation: once ctx is done, the run stops
+// at the next poll (every deadlineStride cycles) and Run returns a
+// *CancelError carrying the engine snapshot. A nil context disables
+// polling. Must be called before Run.
+func (m *Machine) SetContext(ctx context.Context) { m.ctx = ctx }
+
+// cancelled returns the typed cancellation error when the attached context
+// is done, nil otherwise.
+func (m *Machine) cancelled() *CancelError {
+	if m.ctx == nil {
+		return nil
+	}
+	select {
+	case <-m.ctx.Done():
+		return &CancelError{Cause: m.ctx.Err(), Snapshot: m.snapshotState()}
+	default:
+		return nil
+	}
+}
+
 // snapshotState captures the engine's progress state for stall/deadline
 // reports.
 func (m *Machine) snapshotState() EngineSnapshot {
@@ -432,9 +460,10 @@ func (m *Machine) tick() {
 // multi-core mixes) so contention persists until all cores finish.
 //
 // A hang yields a *StallError, a blown wall-clock budget a *DeadlineError,
-// a failing trace reader a *TraceReadError (all with nil result). When an
-// attached checker recorded violations the result is still returned
-// alongside the *check.ViolationError.
+// a done cancellation context a *CancelError, a failing trace reader a
+// *TraceReadError (all with nil result). When an attached checker recorded
+// violations the result is still returned alongside the
+// *check.ViolationError.
 func (m *Machine) Run() (*Result, error) {
 	cfg := m.cfg
 	// Warmup phase.
@@ -551,7 +580,8 @@ func MustRun(m *Machine) *Result {
 // declares the machine hung.
 const StallWatchdogCycles = 2_000_000
 
-// deadlineStride is how many cycles pass between wall-clock checks.
+// deadlineStride is how many cycles pass between wall-clock deadline and
+// context-cancellation checks.
 const deadlineStride = 1 << 14
 
 // loopState carries runUntil's progress-watchdog bookkeeping across
@@ -574,6 +604,11 @@ func (m *Machine) runUntil(cond func() bool) error {
 		st.watchdog = StallWatchdogCycles
 	}
 	m.nextDeadlineCheck = (m.cycle/deadlineStride + 1) * deadlineStride
+	// A context that is already done stops the run before any work: a
+	// drained worker pool must not start cycles it will immediately abandon.
+	if ce := m.cancelled(); ce != nil {
+		return ce
+	}
 	for !cond() {
 		m.tick()
 		if err := m.afterCycle(&st); err != nil {
@@ -610,9 +645,12 @@ func (m *Machine) afterCycle(st *loopState) error {
 		m.checkAll(m.cycle)
 		m.nextCheck = m.cycle + m.checkInterval
 	}
-	if !m.deadline.IsZero() && m.cycle >= m.nextDeadlineCheck {
+	if (m.ctx != nil || !m.deadline.IsZero()) && m.cycle >= m.nextDeadlineCheck {
 		m.nextDeadlineCheck = (m.cycle/deadlineStride + 1) * deadlineStride
-		if time.Now().After(m.deadline) {
+		if ce := m.cancelled(); ce != nil {
+			return ce
+		}
+		if !m.deadline.IsZero() && time.Now().After(m.deadline) {
 			return &DeadlineError{Limit: m.deadlineLimit, Snapshot: m.snapshotState()}
 		}
 	}
@@ -639,11 +677,18 @@ func (m *Machine) afterCycle(st *loopState) error {
 // tracestore streaming reader) and run it. The engine never materializes
 // the trace; memory is bounded by whatever window the reader itself holds.
 func RunReader(cfg Config, rd trace.Reader, l1dPf, l2Pf PrefetcherFactory) (*Result, error) {
+	return RunReaderContext(context.Background(), cfg, rd, l1dPf, l2Pf)
+}
+
+// RunReaderContext is RunReader with cooperative cancellation: once ctx is
+// done the run stops at the next poll stride and returns a *CancelError.
+func RunReaderContext(ctx context.Context, cfg Config, rd trace.Reader, l1dPf, l2Pf PrefetcherFactory) (*Result, error) {
 	cfg.Cores = 1
 	m, err := New(cfg, []trace.Reader{rd}, l1dPf, l2Pf)
 	if err != nil {
 		return nil, err
 	}
+	m.SetContext(ctx)
 	return m.Run()
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -81,6 +82,36 @@ type DeadlineError struct {
 // Error implements error.
 func (e *DeadlineError) Error() string {
 	return fmt.Sprintf("sim: run exceeded %v wall-clock deadline (%s)", e.Limit, e.Snapshot)
+}
+
+// CancelError reports that a run was stopped by context cancellation (a
+// Ctrl-C draining a campaign, a caller-imposed context deadline). It is a
+// distinct class from StallError/DeadlineError: the machine was healthy,
+// the caller asked it to stop. Unwrap exposes the context's cause, so
+// errors.Is(err, context.Canceled) works on the chain.
+type CancelError struct {
+	// Cause is the context's error (context.Canceled or
+	// context.DeadlineExceeded, possibly wrapped by context.WithCancelCause).
+	Cause error
+	// Snapshot is the engine state at the cancellation poll (zero when the
+	// run was cancelled before the first cycle executed).
+	Snapshot EngineSnapshot
+}
+
+// Error implements error.
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("sim: run cancelled: %v (%s)", e.Cause, e.Snapshot)
+}
+
+// Unwrap exposes the context cause to errors.Is/As.
+func (e *CancelError) Unwrap() error { return e.Cause }
+
+// IsCancel reports whether err's chain contains a *CancelError — the test
+// callers use to distinguish "the campaign is shutting down" from a genuine
+// run failure (cancelled runs are neither memoized nor retried).
+func IsCancel(err error) bool {
+	var ce *CancelError
+	return errors.As(err, &ce)
 }
 
 // TraceReadError reports a trace-reader failure surfaced through the core

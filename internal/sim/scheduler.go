@@ -95,7 +95,8 @@ func (m *Machine) horizon() uint64 {
 
 // clampHorizon bounds a horizon jump by every engine-level trigger that must
 // fire at an exact cycle: the invariant-check sweep, an unapplied fault
-// plan's trigger, the wall-clock deadline stride, and the stall watchdog.
+// plan's trigger, the wall-clock deadline / cancellation poll stride, and
+// the stall watchdog.
 // The watchdog clamp also guarantees the jump is finite when every component
 // reports Never.
 func (m *Machine) clampHorizon(h uint64, st *loopState) uint64 {
@@ -108,7 +109,7 @@ func (m *Machine) clampHorizon(h uint64, st *loopState) uint64 {
 	if m.faultPlan != nil && !m.corruptApplied && h > m.faultPlan.After {
 		h = m.faultPlan.After
 	}
-	if !m.deadline.IsZero() && h > m.nextDeadlineCheck {
+	if (m.ctx != nil || !m.deadline.IsZero()) && h > m.nextDeadlineCheck {
 		h = m.nextDeadlineCheck
 	}
 	if h < m.cycle {
