@@ -20,6 +20,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +49,57 @@ type report struct {
 	Reps        int       `json:"reps"`
 	GeneratedAt time.Time `json:"generated_at"`
 	Cells       []cell    `json:"cells"`
+}
+
+// trajectorySchemaVersion governs the BENCH_engine.json container shape.
+const trajectorySchemaVersion = 1
+
+// trajectory is the on-disk container: every benchengine run appends its
+// timestamped report, so throughput history accumulates instead of each run
+// clobbering the last. Legacy single-report files (the pre-trajectory
+// format) are migrated into the first entry on the next run.
+type trajectory struct {
+	SchemaVersion int      `json:"schema_version"`
+	Entries       []report `json:"entries"`
+}
+
+// loadTrajectory reads an existing output file in either format. A missing
+// file starts an empty trajectory; an unrecognized one is an error rather
+// than silent clobbering.
+func loadTrajectory(path string) (*trajectory, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &trajectory{SchemaVersion: trajectorySchemaVersion}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Probe the container shape by key: "entries" = trajectory (possibly
+	// empty), "cells" = a legacy single report.
+	var probe struct {
+		Entries *[]report `json:"entries"`
+		Cells   *[]cell   `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("%s: %w (move the file aside to start a fresh trajectory)", path, err)
+	}
+	switch {
+	case probe.Entries != nil:
+		var tr trajectory
+		if err := json.Unmarshal(data, &tr); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		tr.SchemaVersion = trajectorySchemaVersion
+		return &tr, nil
+	case probe.Cells != nil:
+		var legacy report
+		if err := json.Unmarshal(data, &legacy); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &trajectory{SchemaVersion: trajectorySchemaVersion, Entries: []report{legacy}}, nil
+	default:
+		return nil, fmt.Errorf("%s: neither a benchengine trajectory nor a legacy report (move the file aside)", path)
+	}
 }
 
 func main() {
@@ -98,6 +150,12 @@ func main() {
 		}
 	}
 
+	traj, err := loadTrajectory(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchengine:", err)
+		os.Exit(1)
+	}
+	traj.Entries = append(traj.Entries, rep)
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchengine:", err)
@@ -105,7 +163,7 @@ func main() {
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if err := enc.Encode(traj); err != nil {
 		fmt.Fprintln(os.Stderr, "benchengine:", err)
 		os.Exit(1)
 	}
@@ -113,7 +171,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchengine:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s (run %d of the trajectory)\n", *out, len(traj.Entries))
 }
 
 // measure runs one matrix cell reps times and keeps the fastest wall time

@@ -59,6 +59,8 @@ import (
 	"github.com/bertisim/berti/internal/fault"
 	"github.com/bertisim/berti/internal/harness"
 	"github.com/bertisim/berti/internal/obs"
+	"github.com/bertisim/berti/internal/obs/live"
+	"github.com/bertisim/berti/internal/obs/provenance"
 	"github.com/bertisim/berti/internal/prefetch"
 	"github.com/bertisim/berti/internal/sim"
 	"github.com/bertisim/berti/internal/trace"
@@ -92,6 +94,10 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of structured events to this file")
 	traceBuf := flag.Int("trace-buf", 1<<16, "event-trace ring-buffer capacity (oldest events overwritten)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	provOut := flag.String("provenance-out", "", "write the per-prefetch provenance attribution report to this file (.json = JSON, else CSV); implies -provenance")
+	provFlag := flag.Bool("provenance", false, "track per-prefetch lifecycle provenance (attribution embedded in the -json report)")
+	provCap := flag.Int("provenance-cap", 0, "provenance record-pool capacity (0 = default 65536); overflowing prefetches go untracked and are counted")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics (JSON snapshot + expvar) on this address, e.g. localhost:8090")
 	checkFlag := flag.Bool("check", false, "run the invariant checker alongside the simulation")
 	faultSpec := flag.String("fault-plan", "", "inject deterministic faults: kind[:key=value,...] (kinds: corrupt-record, truncate, drop-fill, delay-fill, dup-line, pq-orphan)")
 	schedFlag := flag.String("sched", "horizon", "engine scheduler: horizon (event-horizon skipping) or ticked (exhaustive per-cycle reference)")
@@ -144,8 +150,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
-	// Writing a time series implies sampling; pick a sane default interval.
-	if *tsOut != "" && *interval == 0 {
+	// A live metrics endpoint needs sampler rows to serve; sampling and
+	// writing a time series each imply a sane default interval.
+	if (*tsOut != "" || *metricsAddr != "") && *interval == 0 {
 		*interval = 100_000
 	}
 	if *traceOut != "" && *traceBuf <= 0 {
@@ -155,6 +162,7 @@ func main() {
 	// Fail on unwritable output paths now, not after a long simulation.
 	ensureWritable(*tsOut)
 	ensureWritable(*traceOut)
+	ensureWritable(*provOut)
 	var observer *obs.Observer
 	if *interval > 0 || *traceOut != "" {
 		observer = &obs.Observer{}
@@ -163,6 +171,25 @@ func main() {
 		}
 		if *traceOut != "" {
 			observer.Tracer = obs.NewTracer(*traceBuf)
+		}
+	}
+
+	var tracker *provenance.Tracker
+	if *provFlag || *provOut != "" {
+		tracker = provenance.NewTracker(*provCap)
+	}
+	var metrics *live.Server
+	if *metricsAddr != "" {
+		var err error
+		metrics, err = live.New(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bertisim:", err)
+			os.Exit(exitUsage)
+		}
+		defer metrics.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", metrics.Addr())
+		if observer != nil && observer.Sampler != nil {
+			observer.Sampler.OnRow = metrics.RecordRow
 		}
 	}
 
@@ -214,7 +241,7 @@ func main() {
 	if *traceFile != "" {
 		// runMachine wires one reader through the engine with this run's
 		// observability hooks; both the v1 and v2 paths share it.
-		runMachine := func(rd trace.Reader, l1, l2 string, o *obs.Observer, ck *check.Checker, fp *fault.Plan) (*sim.Result, error) {
+		runMachine := func(rd trace.Reader, l1, l2 string, o *obs.Observer, ck *check.Checker, fp *fault.Plan, pv *provenance.Tracker) (*sim.Result, error) {
 			cfg := sim.DefaultConfig()
 			cfg.WarmupInstructions = scale.WarmupInstr
 			cfg.SimInstructions = scale.SimInstr
@@ -245,12 +272,15 @@ func main() {
 			if ck != nil {
 				m.SetChecker(ck, 0, 0)
 			}
+			if pv != nil {
+				m.SetProvenance(pv)
+			}
 			if fp != nil && !fp.TraceFault() {
 				m.SetFaultPlan(fp)
 			}
 			return m.Run()
 		}
-		var run func(l1, l2 string, o *obs.Observer, ck *check.Checker, fp *fault.Plan) (*sim.Result, error)
+		var run func(l1, l2 string, o *obs.Observer, ck *check.Checker, fp *fault.Plan, pv *provenance.Tracker) (*sim.Result, error)
 		if sniffV2(*traceFile) {
 			if faultPlan != nil && faultPlan.TraceFault() {
 				fmt.Fprintln(os.Stderr, "bertisim: trace-level fault plans need a v1 trace (v2 chunks are CRC-checked; use tracegen -format v1)")
@@ -267,7 +297,7 @@ func main() {
 					*skip, tf.Meta().Instructions)
 				os.Exit(exitUsage)
 			}
-			run = func(l1, l2 string, o *obs.Observer, ck *check.Checker, fp *fault.Plan) (*sim.Result, error) {
+			run = func(l1, l2 string, o *obs.Observer, ck *check.Checker, fp *fault.Plan, pv *provenance.Tracker) (*sim.Result, error) {
 				// Fresh window reader per run: the main and baseline runs each
 				// stream the file independently.
 				rd, err := tf.NewWindowReader(*skip, tracestore.ReaderOptions{Loop: true})
@@ -275,7 +305,7 @@ func main() {
 					return nil, err
 				}
 				defer rd.Close()
-				return runMachine(rd, l1, l2, o, ck, fp)
+				return runMachine(rd, l1, l2, o, ck, fp, pv)
 			}
 		} else {
 			data, err := os.ReadFile(*traceFile)
@@ -301,15 +331,15 @@ func main() {
 				// FastForward lands on for v2.
 				tr.Records = tr.Records[skipIndex(tr, *skip):]
 			}
-			run = func(l1, l2 string, o *obs.Observer, ck *check.Checker, fp *fault.Plan) (*sim.Result, error) {
-				return runMachine(trace.NewLoopReader(tr), l1, l2, o, ck, fp)
+			run = func(l1, l2 string, o *obs.Observer, ck *check.Checker, fp *fault.Plan, pv *provenance.Tracker) (*sim.Result, error) {
+				return runMachine(trace.NewLoopReader(tr), l1, l2, o, ck, fp, pv)
 			}
 		}
 		start := time.Now()
-		res, runErr = run(*l1d, *l2, observer, checker, faultPlan)
+		res, runErr = run(*l1d, *l2, observer, checker, faultPlan, tracker)
 		elapsed = time.Since(start)
 		if runErr == nil {
-			base, baseErr = run("ip-stride", "", nil, nil, nil)
+			base, baseErr = run("ip-stride", "", nil, nil, nil, nil)
 		}
 		*workload = *traceFile
 	} else {
@@ -319,9 +349,9 @@ func main() {
 		}
 		spec := harness.RunSpec{Workload: *workload, L1DPf: *l1d, L2Pf: *l2, DRAMCfg: *dramCfg}
 		start := time.Now()
-		if observer != nil || checker != nil || faultPlan != nil {
+		if observer != nil || checker != nil || faultPlan != nil || tracker != nil {
 			res, runErr = h.RunWith(spec, harness.RunOptions{
-				Observer: observer, Checker: checker, Fault: faultPlan,
+				Observer: observer, Checker: checker, Fault: faultPlan, Provenance: tracker,
 			})
 		} else {
 			res, runErr = h.Run(spec)
@@ -332,7 +362,16 @@ func main() {
 		}
 	}
 	if runErr != nil {
+		if metrics != nil {
+			metrics.RunFailed()
+		}
 		exitForError(runErr, checker)
+	}
+	if metrics != nil {
+		metrics.RunCompleted()
+		if p := res.Provenance; p != nil {
+			metrics.SetAttribution(func() any { return p })
+		}
 	}
 	if baseErr != nil {
 		if sim.IsCancel(baseErr) {
@@ -354,6 +393,7 @@ func main() {
 			kinstr/elapsed.Seconds(), elapsed.Seconds(), res.Cycles)
 	}
 	writeObservability(observer, res, *tsOut, *traceOut)
+	writeProvenance(res.Provenance, *provOut)
 
 	instr := res.Config.SimInstructions
 	c := &res.Cores[0]
@@ -391,6 +431,70 @@ func main() {
 		fmt.Printf("timeseries: %d intervals of %d instr (last: ipc=%.3f acc=%.3f)\n",
 			len(ts.Rows), ts.IntervalInstr, last.IPC, last.PfAccuracy)
 	}
+	printProvenance(res.Provenance)
+}
+
+// printProvenance renders the human-readable attribution summary: per-level
+// outcome totals with mean slack, then the heaviest trigger PCs and deltas
+// with Berti's claimed confidence next to the measured timely rate.
+func printProvenance(p *provenance.Report) {
+	if p == nil {
+		return
+	}
+	fmt.Printf("provenance: pool=%d overflow=%d live_at_end=%d\n",
+		p.Capacity, p.Overflow, p.LiveAtEnd)
+	for i := range p.Levels {
+		l := &p.Levels[i]
+		fmt.Printf("  %-4s issued=%d spawned=%d fills=%d timely=%d late=%d useless=%d dropped=%d avgSlack=%.0f avgFillLat=%.0f\n",
+			l.Level, l.Issued, l.Spawned, l.Fills, l.Timely, l.Late, l.Useless,
+			l.Dropped, l.Slack.Mean(), l.FillLatency.Mean())
+	}
+	printRows := func(kind string, rows []provenance.Row) {
+		if len(rows) == 0 {
+			return
+		}
+		fmt.Printf("  top %s (issued / claimed conf -> timely rate, avg slack):\n", kind)
+		for i := range rows {
+			r := &rows[i]
+			fmt.Printf("    %-18s issued=%-8d conf=%3.0f%% -> timely=%.2f slack=%.0f\n",
+				r.Key, r.Issued, r.AvgConf, r.TimelyRate, r.AvgSlack)
+		}
+	}
+	printRows("trigger PCs", p.TopPCs(5))
+	printRows("deltas", p.TopDeltas(5))
+}
+
+// writeProvenance persists the attribution report (.json = JSON document,
+// anything else = attribution CSV).
+func writeProvenance(p *provenance.Report, path string) {
+	if path == "" {
+		return
+	}
+	if p == nil {
+		fmt.Fprintln(os.Stderr, "provenance: no report produced")
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "provenance:", err)
+		os.Exit(1)
+	}
+	if strings.HasSuffix(path, ".json") {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(p)
+	} else {
+		err = p.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "provenance:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "provenance: wrote attribution (%d PCs, %d deltas) to %s\n",
+		len(p.PCs), len(p.Deltas), path)
 }
 
 // sniffV2 reports whether path starts with the v2 container magic. Errors
@@ -528,6 +632,24 @@ type jsonReport struct {
 	DRAMWrit      uint64          `json:"dram_writes"`
 	EnergyPJ      float64         `json:"dynamic_energy_pj"`
 	TimeSeries    *obs.TimeSeries `json:"time_series,omitempty"`
+	Provenance    *jsonProvenance `json:"provenance,omitempty"`
+}
+
+// jsonTopN bounds the attribution rows embedded in the -json report (the
+// full tables go to -provenance-out).
+const jsonTopN = 10
+
+// jsonProvenance is the -json report's condensed attribution view:
+// per-level outcome stats plus the top-N trigger PCs and deltas.
+type jsonProvenance struct {
+	SchemaVersion int                     `json:"schema_version"`
+	Capacity      int                     `json:"capacity"`
+	Overflow      uint64                  `json:"overflow"`
+	LiveAtEnd     uint64                  `json:"live_at_end"`
+	Levels        []provenance.LevelStats `json:"levels"`
+	TopPCs        []provenance.Row        `json:"top_pcs"`
+	TopDeltas     []provenance.Row        `json:"top_deltas"`
+	Calibration   []provenance.CalBand    `json:"calibration"`
 }
 
 // emitJSON prints the machine-readable report.
@@ -551,6 +673,18 @@ func emitJSON(workload, l1d, l2 string, res, base *sim.Result) {
 		DRAMWrit:      res.DRAM.Writes,
 		EnergyPJ:      energy.Compute(energy.Default22nm(), res).Total(),
 		TimeSeries:    res.TimeSeries,
+	}
+	if p := res.Provenance; p != nil {
+		rep.Provenance = &jsonProvenance{
+			SchemaVersion: p.SchemaVersion,
+			Capacity:      p.Capacity,
+			Overflow:      p.Overflow,
+			LiveAtEnd:     p.LiveAtEnd,
+			Levels:        p.Levels,
+			TopPCs:        p.TopPCs(jsonTopN),
+			TopDeltas:     p.TopDeltas(jsonTopN),
+			Calibration:   p.Calibration,
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

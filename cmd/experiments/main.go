@@ -47,6 +47,7 @@ import (
 
 	"github.com/bertisim/berti/internal/campaign"
 	"github.com/bertisim/berti/internal/harness"
+	"github.com/bertisim/berti/internal/obs/live"
 	"github.com/bertisim/berti/internal/sim"
 )
 
@@ -75,6 +76,10 @@ func main() {
 	resume := flag.Bool("resume", false, "load the -journal and skip already-completed runs")
 	runTimeout := flag.Duration("run-timeout", 0, "per-run wall-clock budget (0 = 10m default, negative disables)")
 	jsonOut := flag.String("json-out", "", "write a deterministic JSON report of every completed run to this file")
+	provFlag := flag.Bool("provenance", false, "track per-prefetch lifecycle provenance on every run")
+	provOut := flag.String("provenance-out", "", "write the cross-workload attribution roll-up to this file (.json = JSON, else CSV); implies -provenance")
+	provCap := flag.Int("provenance-cap", 0, "per-run provenance record-pool capacity (0 = default 65536)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live campaign metrics (run counters, merged attribution, expvar) on this address")
 	flag.Parse()
 
 	if *list {
@@ -113,6 +118,8 @@ func main() {
 	h.CorpusDir = *corpusDir
 	h.EnableChecks = *checkFlag
 	h.RunTimeout = *runTimeout
+	h.EnableProvenance = *provFlag || *provOut != ""
+	h.ProvenanceCap = *provCap
 	sched, err := sim.ParseScheduler(*schedFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -141,6 +148,34 @@ func main() {
 			if n := journal.Seed(h); n > 0 {
 				fmt.Fprintf(os.Stderr, "experiments: resume: %d completed run(s) loaded from %s\n", n, *journalPath)
 			}
+		}
+	}
+
+	// The attribution roll-up chains onto the journal's OnResult hook
+	// (journaling keeps firing), merging every run's provenance report.
+	var rollup *harness.ProvenanceRollup
+	if h.EnableProvenance {
+		rollup = harness.NewProvenanceRollup()
+		rollup.Attach(h)
+	}
+	var metrics *live.Server
+	if *metricsAddr != "" {
+		metrics, err = live.New(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		defer metrics.Close()
+		fmt.Fprintf(os.Stderr, "experiments: metrics: http://%s/metrics\n", metrics.Addr())
+		prev := h.OnResult
+		h.OnResult = func(key string, spec harness.RunSpec, r *sim.Result) {
+			if prev != nil {
+				prev(key, spec, r)
+			}
+			metrics.RunCompleted()
+		}
+		if rollup != nil {
+			metrics.SetAttribution(func() any { return rollup.Report() })
 		}
 	}
 
@@ -181,6 +216,9 @@ func main() {
 		// by the harness with the overflow reported as suppressed.
 		for _, f := range h.Failures() {
 			failed++
+			if metrics != nil {
+				metrics.RunFailed()
+			}
 			var dle *sim.DeadlineError
 			if errors.As(f, &dle) {
 				fmt.Fprintf(os.Stderr, "experiments: %s: run-timeout %v exceeded by spec %s (cycle %d; raise -run-timeout or lower BERTI_SCALE)\n",
@@ -210,6 +248,14 @@ func main() {
 	if *jsonOut != "" {
 		if err := writeReport(*jsonOut, h, interrupted); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: writing -json-out:", err)
+			os.Exit(1)
+		}
+	}
+	if rollup != nil && *provOut != "" {
+		// Written even when interrupted: a partial campaign's attribution is
+		// still attribution for the runs that finished.
+		if err := writeRollup(*provOut, rollup); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: writing -provenance-out:", err)
 			os.Exit(1)
 		}
 	}
@@ -258,6 +304,29 @@ func writeReport(path string, h *harness.Harness, partial bool) error {
 	err = enc.Encode(rep)
 	if cerr := f.Close(); err == nil {
 		err = cerr
+	}
+	return err
+}
+
+// writeRollup persists the cross-workload attribution roll-up (.json = the
+// full roll-up document, anything else = the merged attribution CSV).
+func writeRollup(path string, rollup *harness.ProvenanceRollup) error {
+	rep := rollup.Report()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = rep.WriteJSON(f)
+	} else {
+		err = rep.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "experiments: wrote attribution roll-up (%d run(s), %d workload(s)) to %s\n",
+			rep.Runs, len(rep.Workloads), path)
 	}
 	return err
 }

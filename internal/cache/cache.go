@@ -11,6 +11,7 @@ import (
 
 	"github.com/bertisim/berti/internal/check"
 	"github.com/bertisim/berti/internal/obs"
+	"github.com/bertisim/berti/internal/obs/provenance"
 	"github.com/bertisim/berti/internal/stats"
 )
 
@@ -83,6 +84,10 @@ type Req struct {
 	notBefore uint64
 	// enqueued records when the request entered the current queue.
 	enqueued uint64
+	// provID carries the prefetch's provenance record across levels
+	// (0 = untracked; only prefetch requests built inside the cache layer
+	// ever set it).
+	provID uint32
 }
 
 // Lower is the downstream interface of a cache: the next cache level or
@@ -219,6 +224,9 @@ type line struct {
 	pfIP uint64
 	lru  uint64
 	rrpv uint8
+	// provID names the provenance record of the prefetch that brought this
+	// line while its prefetch bit is set (0 = untracked).
+	provID uint32
 }
 
 // mshr is one miss-status holding register entry.
@@ -241,6 +249,9 @@ type mshr struct {
 	dataReady    bool
 	readyCycle   uint64
 	waiters      []func(cycle uint64)
+	// provID names the in-flight prefetch's provenance record (0 when the
+	// entry is a demand miss, tracking is off, or the record resolved).
+	provID uint32
 }
 
 // AccessEvent is passed to the prefetcher for every demand access.
@@ -284,6 +295,11 @@ type FillEvent struct {
 type PrefetchReq struct {
 	LineAddr  uint64
 	FillLevel Level
+	// Confidence is the prefetcher's own estimate (percent, 0-100) that
+	// this prefetch will be used, at issue time. Berti reports its measured
+	// per-delta coverage; prefetchers without an internal estimate leave 0.
+	// Observability only — the cache never acts on it.
+	Confidence uint8
 }
 
 // Prefetcher is the hook interface implemented by Berti and the baselines.
@@ -320,6 +336,7 @@ type pqEntry struct {
 	fillLevel Level
 	issue     uint64 // timestamp at PQ insertion (Berti latency origin)
 	notBefore uint64
+	provID    uint32
 }
 
 // Cache is one level of the hierarchy.
@@ -357,6 +374,12 @@ type Cache struct {
 	// trigIP is the IP of the access currently driving the prefetcher
 	// (event attribution for prefetch issues; 0 outside firePrefetcher).
 	trigIP uint64
+	// trigLine is the line address of that access in the prefetcher's
+	// training space (delta attribution; 0 outside firePrefetcher).
+	trigLine uint64
+	// prov is the per-prefetch lifecycle tracker (nil = disabled; every
+	// emission is guarded by a nil check so the disabled path is free).
+	prov *provenance.Tracker
 }
 
 // New builds a cache level, validating cfg first. lower may be nil only in
@@ -399,6 +422,14 @@ func (c *Cache) SetTranslator(t Translator) { c.xlat = t }
 
 // SetTracer attaches a structured event tracer (nil disables tracing).
 func (c *Cache) SetTracer(t *obs.Tracer) { c.tr = t }
+
+// SetProvenance attaches a per-prefetch lifecycle tracker (nil disables
+// tracking). Every hierarchy level of a machine shares one tracker so
+// provenance IDs remain meaningful as prefetches cross levels.
+func (c *Cache) SetProvenance(t *provenance.Tracker) { c.prov = t }
+
+// Provenance returns the attached tracker (nil if none).
+func (c *Cache) Provenance() *provenance.Tracker { return c.prov }
 
 // FaultHook is the fault-injection interface (implemented by
 // fault.FillInjector). It is consulted once per fill response arriving
@@ -586,9 +617,15 @@ func (c *Cache) AcceptRead(r *Req, cycle uint64) bool {
 		if len(c.pq) >= c.cfg.PQSize {
 			return false
 		}
+		if c.prov != nil && r.provID != 0 {
+			// The issuing level handed the prefetch straight down without
+			// installing: the record follows it to this level.
+			c.prov.Relevel(r.provID, int(c.cfg.Level))
+		}
 		c.pq = append(c.pq, pqEntry{
 			vline: r.VLineAddr, pline: r.LineAddr,
 			fillLevel: r.FillLevel, issue: cycle, notBefore: cycle,
+			provID: r.provID,
 		})
 		return true
 	}
@@ -693,12 +730,21 @@ func (c *Cache) EnqueuePrefetches(reqs []PrefetchReq, cycle uint64, triggerVPage
 			c.Stats.PrefDropped++
 			continue
 		}
+		var provID uint32
+		if c.prov != nil {
+			var delta int64
+			if c.trigLine != 0 {
+				delta = int64(pr.LineAddr) - int64(c.trigLine)
+			}
+			provID = c.prov.Issue(int(c.cfg.Level), c.trigIP, delta, pr.Confidence, cycle)
+		}
 		c.pq = append(c.pq, pqEntry{
 			vline:     pr.LineAddr,
 			pline:     pline,
 			fillLevel: pr.FillLevel,
 			issue:     cycle,
 			notBefore: cycle + extraLat,
+			provID:    provID,
 		})
 		c.Stats.PrefIssued++
 		if c.tr != nil {
@@ -749,6 +795,12 @@ func (c *Cache) fill(m *mshr, cycle uint64) {
 				if c.tr != nil {
 					c.emit(cycle, obs.EvPrefetchFill, m.lineAddr, m.ip)
 				}
+				if c.prov != nil && !m.demandMerged {
+					// The line was installed by a writeback while this
+					// prefetch was in flight: no prefetch bit is set, so
+					// the prefetch terminates without a trackable install.
+					c.prov.Resolve(m.provID, int(c.cfg.Level), provenance.OutDropped, cycle)
+				}
 			}
 			if c.pf != nil {
 				c.pf.OnFill(FillEvent{
@@ -779,6 +831,9 @@ func (c *Cache) fill(m *mshr, cycle uint64) {
 				if c.tr != nil {
 					c.emit(cycle, obs.EvPrefetchEvict, v.addr, v.pfIP)
 				}
+				if c.prov != nil {
+					c.prov.Resolve(v.provID, int(c.cfg.Level), provenance.OutUseless, cycle)
+				}
 			}
 			if v.dirty {
 				c.writebackVictim(v, cycle)
@@ -802,6 +857,10 @@ func (c *Cache) fill(m *mshr, cycle uint64) {
 		if m.isPrefetch && !m.demandMerged {
 			v.prefetched = true
 			v.pfIP = m.ip
+			v.provID = m.provID
+			if c.prov != nil {
+				c.prov.Fill(m.provID, cycle)
+			}
 			// Store the 12-bit latency; overflow -> 0 (not learned).
 			if latency >= 1<<12 {
 				v.pfLatency = 0
@@ -880,6 +939,9 @@ func (c *Cache) processWrites(cycle uint64) {
 					if c.tr != nil {
 						c.emit(cycle, obs.EvPrefetchEvict, v.addr, v.pfIP)
 					}
+					if c.prov != nil {
+						c.prov.Resolve(v.provID, int(c.cfg.Level), provenance.OutUseless, cycle)
+					}
 				}
 				if v.dirty {
 					c.writebackVictim(v, cycle)
@@ -945,6 +1007,11 @@ func (c *Cache) serviceRead(r *Req, cycle uint64) (done, consumed bool) {
 			if c.tr != nil {
 				c.emit(cycle, obs.EvPrefetchUse, r.LineAddr, r.IP)
 			}
+			if c.prov != nil {
+				// Timely: the line sat ready; slack = cycle - fill cycle.
+				c.prov.Resolve(l.provID, int(c.cfg.Level), provenance.OutTimely, cycle)
+			}
+			l.provID = 0
 		}
 		c.touch(l)
 		if r.Store {
@@ -989,6 +1056,13 @@ func (c *Cache) serviceRead(r *Req, cycle uint64) (done, consumed bool) {
 				if c.tr != nil {
 					c.emit(cycle, obs.EvDemandMiss, r.LineAddr, r.IP)
 				}
+				if c.prov != nil {
+					// Late: the demand merged into the in-flight prefetch.
+					// The MSHR continues life as a demand miss, so the
+					// record resolves here and the ID is dropped.
+					c.prov.Resolve(m.provID, int(c.cfg.Level), provenance.OutLate, cycle)
+				}
+				m.provID = 0
 				c.Promote(r.LineAddr)
 				m.demandMerged = true
 				m.ip = r.IP
@@ -1022,6 +1096,14 @@ func (c *Cache) serviceRead(r *Req, cycle uint64) (done, consumed bool) {
 		c.drripMissUpdate(r.LineAddr)
 		c.fireMissEvent(r, cycle)
 	}
+	var provID uint32
+	if c.prov != nil && r.IsPrefetch {
+		// A prefetch forwarded from the level above installs its own copy
+		// of the line here (non-inclusive fill): spawn a child record so
+		// this level's install resolves independently under the same
+		// trigger attribution.
+		provID = c.prov.Child(r.provID, int(c.cfg.Level), cycle)
+	}
 	*m = mshr{
 		valid:      true,
 		lineAddr:   r.LineAddr,
@@ -1031,6 +1113,7 @@ func (c *Cache) serviceRead(r *Req, cycle uint64) (done, consumed bool) {
 		fillLevel:  r.FillLevel,
 		isStore:    r.Store,
 		issueCycle: cycle,
+		provID:     provID,
 	}
 	if r.OnDone != nil {
 		m.waiters = append(m.waiters, r.OnDone)
@@ -1061,8 +1144,10 @@ func (c *Cache) firePrefetcher(ev AccessEvent, cycle uint64) {
 	reqs := c.pf.OnAccess(ev)
 	if len(reqs) > 0 {
 		c.trigIP = ev.IP
+		c.trigLine = ev.LineAddr
 		c.EnqueuePrefetches(reqs, cycle, ev.LineAddr>>(12-LineShift))
 		c.trigIP = 0
+		c.trigLine = 0
 	}
 }
 
@@ -1076,6 +1161,7 @@ func (c *Cache) forwardDown(m *mshr, cycle uint64) {
 		IsPrefetch: m.isPrefetch,
 		FillLevel:  m.fillLevel,
 		notBefore:  cycle,
+		provID:     m.provID,
 		OnDone: func(done uint64) {
 			// Locate the entry again: the MSHR array is stable.
 			mm := c.findMSHR(lineAddr)
@@ -1106,6 +1192,11 @@ func (c *Cache) processPrefetches(cycle uint64) {
 		}
 		if c.probe(e.pline) != nil || c.findMSHR(e.pline) != nil {
 			c.Stats.PrefDropped++
+			if c.prov != nil {
+				// The line became resident (or in flight) since the PQ
+				// accepted this prefetch: it terminates without a line.
+				c.prov.Resolve(e.provID, int(c.cfg.Level), provenance.OutDropped, cycle)
+			}
 			c.pq = c.pq[1:]
 			continue
 		}
@@ -1128,6 +1219,7 @@ func (c *Cache) processPrefetches(cycle uint64) {
 				isPrefetch: true,
 				fillLevel:  e.fillLevel,
 				issueCycle: e.issue, // PQ timestamp transfers to the MSHR
+				provID:     e.provID,
 			}
 			c.forwardDown(m, cycle)
 		} else {
@@ -1141,6 +1233,7 @@ func (c *Cache) processPrefetches(cycle uint64) {
 				IsPrefetch: true,
 				FillLevel:  e.fillLevel,
 				notBefore:  cycle,
+				provID:     e.provID,
 			}, cycle)
 			if !ok {
 				return

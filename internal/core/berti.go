@@ -137,6 +137,12 @@ type deltaSlot struct {
 	delta    int64 // non-zero when occupied
 	coverage uint8 // 4-bit occurrence counter within the phase
 	status   uint8 // 2-bit fill-level status from the previous phase
+	// lastCov is the measured coverage (percent) that earned the status in
+	// the previous phase close-out — Berti's internal confidence for
+	// prefetches issued on this delta, reported to the provenance layer
+	// so claimed confidence can be crossed against ground-truth outcomes.
+	// Observability only: not part of the paper's hardware budget.
+	lastCov uint8
 }
 
 // deltaEntry is one table-of-deltas entry.
@@ -526,10 +532,24 @@ func (b *Berti) closePhase(e *deltaEntry) {
 		default:
 			s.status = statusNoPref
 		}
+		s.lastCov = covPercent(s.coverage, 16)
 		s.coverage = 0
 	}
 	e.counter = 0
 	e.warmed = true
+}
+
+// covPercent converts an occurrence count over n searches into a clamped
+// percentage (the confidence reported with each issued prefetch).
+func covPercent(cov uint8, n int) uint8 {
+	if n <= 0 {
+		return 0
+	}
+	p := int(cov) * 100 / n
+	if p > 100 {
+		p = 100
+	}
+	return uint8(p)
 }
 
 // OnAccess implements cache.Prefetcher. It trains on demand misses and on
@@ -577,6 +597,7 @@ func (b *Berti) predict(ev cache.AccessEvent, isTrigger bool) []cache.PrefetchRe
 			continue
 		}
 		var level cache.Level
+		conf := s.lastCov
 		switch {
 		case e.warmed && s.status == statusL1D:
 			if mshrBelow {
@@ -591,7 +612,10 @@ func (b *Berti) predict(ev cache.AccessEvent, isTrigger bool) []cache.PrefetchRe
 			level = cache.L2
 		case !e.warmed && int(e.counter) >= b.cfg.WarmupMinSearches &&
 			int(s.coverage)*100 >= warmHigh*int(e.counter):
-			// Warm-up: issue early for very-high-coverage deltas.
+			// Warm-up: issue early for very-high-coverage deltas. The
+			// confidence is the live coverage ratio over the searches so
+			// far (no closed phase to report yet).
+			conf = covPercent(s.coverage, int(e.counter))
 			if mshrBelow {
 				level = cache.L1D
 			} else {
@@ -611,8 +635,9 @@ func (b *Berti) predict(ev cache.AccessEvent, isTrigger bool) []cache.PrefetchRe
 			b.IssuedL2++
 		}
 		b.scratch = append(b.scratch, cache.PrefetchReq{
-			LineAddr:  target,
-			FillLevel: level,
+			LineAddr:   target,
+			FillLevel:  level,
+			Confidence: conf,
 		})
 	}
 	return b.scratch

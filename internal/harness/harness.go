@@ -22,6 +22,7 @@ import (
 	"github.com/bertisim/berti/internal/fault"
 	"github.com/bertisim/berti/internal/metrics"
 	"github.com/bertisim/berti/internal/obs"
+	"github.com/bertisim/berti/internal/obs/provenance"
 	"github.com/bertisim/berti/internal/prefetch"
 	"github.com/bertisim/berti/internal/prefetch/oracle"
 	"github.com/bertisim/berti/internal/sim"
@@ -357,6 +358,18 @@ type Harness struct {
 	// the campaign journal's subscription point. Memo hits and seeded
 	// results do not fire it.
 	OnResult func(key string, spec RunSpec, r *sim.Result)
+	// EnableProvenance attaches a fresh per-prefetch lifecycle tracker to
+	// every run; the run's Result carries the attribution report
+	// (Result.Provenance). Deliberately absent from the memo key, like
+	// EnableChecks: the tracker is a pure observer and the
+	// provenance-differential suite enforces that statistics are
+	// byte-identical with it off.
+	EnableProvenance bool
+	// ProvenanceCap bounds each run's tracker record pool
+	// (provenance.DefaultCapacity when 0). Overflowing the pool is not an
+	// error — further prefetches go untracked and the report's overflow
+	// counter says how many.
+	ProvenanceCap int
 
 	mu         sync.Mutex
 	traces     map[string]*trace.Slice
@@ -570,6 +583,9 @@ type RunOptions struct {
 	// workload trace, mutate the bytes, and decode — a corrupt stream
 	// surfaces as a *trace.DecodeError before simulation starts.
 	Fault *fault.Plan
+	// Provenance attaches a per-prefetch lifecycle tracker; the run's
+	// Result carries its attribution report.
+	Provenance *provenance.Tracker
 }
 
 // Run executes (or returns the memoized result of) one simulation under
@@ -616,6 +632,9 @@ func (h *Harness) RunContext(ctx context.Context, spec RunSpec) (*sim.Result, er
 	opts := RunOptions{}
 	if h.EnableChecks {
 		opts.Checker = check.New()
+	}
+	if h.EnableProvenance {
+		opts.Provenance = provenance.NewTracker(h.ProvenanceCap)
 	}
 	r, err := h.runProtected(ctx, spec, opts)
 	if err != nil {
@@ -760,6 +779,9 @@ func (h *Harness) run(ctx context.Context, spec RunSpec, opts RunOptions) (*sim.
 	}
 	if opts.Checker != nil {
 		m.SetChecker(opts.Checker, opts.CheckInterval, opts.MSHRStuckAfter)
+	}
+	if opts.Provenance != nil {
+		m.SetProvenance(opts.Provenance)
 	}
 	if opts.Fault != nil && !opts.Fault.TraceFault() {
 		m.SetFaultPlan(opts.Fault)

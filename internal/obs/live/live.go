@@ -1,0 +1,168 @@
+// Package live exposes campaign observability over HTTP while simulations
+// run: a JSON snapshot endpoint with run counters and the most recent
+// sampler intervals, a provenance endpoint rendering the current
+// cross-workload attribution, and the process's expvar page. The server is
+// a pure observer — it only reads snapshots the simulation side pushes, so
+// attaching it cannot perturb results.
+package live
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bertisim/berti/internal/obs"
+)
+
+// RecentRows bounds the sampler intervals kept for the snapshot endpoint.
+const RecentRows = 64
+
+// expvar's registry is process-global and Publish panics on duplicate
+// names, so the berti map is published exactly once regardless of how many
+// servers a process (or test binary) starts.
+var (
+	pubOnce sync.Once
+	pubMap  *expvar.Map
+)
+
+func bertiVars() *expvar.Map {
+	pubOnce.Do(func() { pubMap = expvar.NewMap("berti") })
+	return pubMap
+}
+
+// Server serves live campaign metrics on an HTTP listener.
+//
+//	GET /metrics             — JSON snapshot: schema version, run counters,
+//	                           sampler-row counters, the last RecentRows
+//	                           sampler intervals.
+//	GET /metrics/provenance  — the attribution document from the installed
+//	                           provider (404 until one is set).
+//	GET /debug/vars          — the process expvar page (includes the
+//	                           "berti" map mirroring the run counters).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	rowsSeen  atomic.Uint64
+
+	mu     sync.Mutex
+	recent []obs.Row
+	next   int
+	wrap   bool
+	attrib func() any
+}
+
+// New binds addr (e.g. "localhost:0", ":8090") and starts serving. Close
+// the returned server to release the port.
+func New(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, recent: make([]obs.Row, RecentRows)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics/provenance", s.handleProvenance)
+	mux.Handle("/debug/vars", expvar.Handler())
+	s.srv = &http.Server{Handler: mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listener address (resolves ":0" binds for tests).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// SetAttribution installs the provider for /metrics/provenance. The
+// provider is invoked per request and its result JSON-encoded — pass e.g. a
+// closure over a harness ProvenanceRollup's Report method.
+func (s *Server) SetAttribution(f func() any) {
+	s.mu.Lock()
+	s.attrib = f
+	s.mu.Unlock()
+}
+
+// RunCompleted records one successfully-finished simulation.
+func (s *Server) RunCompleted() {
+	s.completed.Add(1)
+	bertiVars().Add("runs_completed", 1)
+}
+
+// RunFailed records one failed simulation.
+func (s *Server) RunFailed() {
+	s.failed.Add(1)
+	bertiVars().Add("runs_failed", 1)
+}
+
+// RecordRow ingests one freshly-closed sampler interval (wire it to
+// obs.Sampler.OnRow). Only the last RecentRows rows are retained.
+func (s *Server) RecordRow(r obs.Row) {
+	s.rowsSeen.Add(1)
+	bertiVars().Add("sampler_rows", 1)
+	s.mu.Lock()
+	s.recent[s.next] = r
+	s.next++
+	if s.next == len(s.recent) {
+		s.next, s.wrap = 0, true
+	}
+	s.mu.Unlock()
+}
+
+// Snapshot is the /metrics response document.
+type Snapshot struct {
+	SchemaVersion int       `json:"schema_version"`
+	RunsCompleted uint64    `json:"runs_completed"`
+	RunsFailed    uint64    `json:"runs_failed"`
+	SamplerRows   uint64    `json:"sampler_rows"`
+	Recent        []obs.Row `json:"recent_rows"`
+}
+
+// snapshot assembles the current snapshot (recent rows oldest-first).
+func (s *Server) snapshot() *Snapshot {
+	s.mu.Lock()
+	var rows []obs.Row
+	if s.wrap {
+		rows = append(rows, s.recent[s.next:]...)
+		rows = append(rows, s.recent[:s.next]...)
+	} else {
+		rows = append(rows, s.recent[:s.next]...)
+	}
+	s.mu.Unlock()
+	return &Snapshot{
+		SchemaVersion: obs.SchemaVersion,
+		RunsCompleted: s.completed.Load(),
+		RunsFailed:    s.failed.Load(),
+		SamplerRows:   s.rowsSeen.Load(),
+		Recent:        rows,
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.snapshot())
+}
+
+func (s *Server) handleProvenance(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	f := s.attrib
+	s.mu.Unlock()
+	if f == nil {
+		http.Error(w, "no attribution provider installed", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, f())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

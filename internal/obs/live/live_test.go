@@ -1,0 +1,108 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"github.com/bertisim/berti/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestMetricsSnapshotAndCounters(t *testing.T) {
+	s, err := New("localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	s.RunCompleted()
+	s.RunCompleted()
+	s.RunFailed()
+	for i := 0; i < RecentRows+10; i++ {
+		s.RecordRow(obs.Row{Interval: i, IPC: float64(i)})
+	}
+
+	code, body := get(t, fmt.Sprintf("http://%s/metrics", s.Addr()))
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("bad snapshot JSON: %v\n%s", err, body)
+	}
+	if snap.SchemaVersion != obs.SchemaVersion {
+		t.Fatalf("schema version = %d, want %d", snap.SchemaVersion, obs.SchemaVersion)
+	}
+	if snap.RunsCompleted != 2 || snap.RunsFailed != 1 {
+		t.Fatalf("run counters = %d/%d, want 2/1", snap.RunsCompleted, snap.RunsFailed)
+	}
+	if snap.SamplerRows != RecentRows+10 {
+		t.Fatalf("sampler rows = %d, want %d", snap.SamplerRows, RecentRows+10)
+	}
+	// The ring keeps the newest RecentRows rows, oldest first.
+	if len(snap.Recent) != RecentRows {
+		t.Fatalf("recent rows = %d, want %d", len(snap.Recent), RecentRows)
+	}
+	if snap.Recent[0].Interval != 10 || snap.Recent[RecentRows-1].Interval != RecentRows+9 {
+		t.Fatalf("ring order wrong: first=%d last=%d",
+			snap.Recent[0].Interval, snap.Recent[RecentRows-1].Interval)
+	}
+}
+
+func TestProvenanceEndpointAndExpvar(t *testing.T) {
+	s, err := New("localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, _ := get(t, fmt.Sprintf("http://%s/metrics/provenance", s.Addr()))
+	if code != http.StatusNotFound {
+		t.Fatalf("provenance endpoint without provider = %d, want 404", code)
+	}
+	s.SetAttribution(func() any { return map[string]int{"timely": 7} })
+	code, body := get(t, fmt.Sprintf("http://%s/metrics/provenance", s.Addr()))
+	if code != http.StatusOK {
+		t.Fatalf("provenance endpoint = %d", code)
+	}
+	var doc map[string]int
+	if err := json.Unmarshal(body, &doc); err != nil || doc["timely"] != 7 {
+		t.Fatalf("provenance body = %s (err %v)", body, err)
+	}
+
+	code, body = get(t, fmt.Sprintf("http://%s/debug/vars", s.Addr()))
+	if code != http.StatusOK {
+		t.Fatalf("expvar page = %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("expvar page is not JSON: %v", err)
+	}
+	if _, ok := vars["berti"]; !ok {
+		t.Fatalf("expvar page missing the berti map: %s", body)
+	}
+
+	// A second server in the same process must not panic on the expvar
+	// re-publish (sync.Once guard).
+	s2, err := New("localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+}

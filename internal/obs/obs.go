@@ -14,10 +14,15 @@ import (
 	"github.com/bertisim/berti/internal/stats"
 )
 
-// SchemaVersion identifies the time-series row shape (CSV columns and JSON
-// field set). Bump it on any breaking change so downstream tooling can
-// detect incompatibility.
-const SchemaVersion = 1
+// SchemaVersion identifies the observability output shape: the time-series
+// row set (CSV columns and JSON fields), the series summary, and the
+// provenance report/attribution schema. Bump it on any breaking change so
+// downstream tooling can detect incompatibility.
+//
+// v2: time-series summaries gained clamped_rows (interval accuracy clamps
+// are counted, not silent) and the prefetch-provenance report/CSV joined
+// the schema.
+const SchemaVersion = 2
 
 // Source identifies where an event or counter came from. Values 0..3
 // deliberately match internal/cache.Level (L1D, L2, LLC, MEM) so cache

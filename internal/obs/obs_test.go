@@ -207,7 +207,7 @@ func TestChromeTraceJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
 		t.Fatalf("trace output is not valid JSON: %v", err)
 	}
-	if got.OtherData["schema_version"] != "1" {
+	if got.OtherData["schema_version"] != "2" {
 		t.Fatalf("schema_version = %q", got.OtherData["schema_version"])
 	}
 	var meta, inst int
@@ -271,7 +271,7 @@ func TestCSVDeterministicAndGaugeOrderStable(t *testing.T) {
 		t.Fatal("identical runs produced different CSV bytes")
 	}
 	lines := strings.Split(bufA.String(), "\n")
-	if !strings.HasPrefix(lines[0], "# berti.timeseries v1 interval=500") {
+	if !strings.HasPrefix(lines[0], "# berti.timeseries v2 interval=500") {
 		t.Fatalf("schema comment line wrong: %q", lines[0])
 	}
 	if !strings.HasSuffix(lines[1], ",pf.alpha,pf.mid,pf.zeta") {

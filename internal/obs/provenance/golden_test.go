@@ -1,0 +1,78 @@
+package provenance
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenTracker replays a fixed synthetic lifecycle so the rendered report
+// is fully deterministic: two PCs, two deltas, every outcome class, a
+// spawned child, one overflow-free pool.
+func goldenTracker() *Tracker {
+	tr := NewTracker(16)
+	// PC 0x401000, delta +1: timely with slack 30.
+	a := tr.Issue(0, 0x401000, 1, 90, 100)
+	tr.Fill(a, 160)
+	tr.Resolve(a, 0, OutTimely, 190)
+	// PC 0x401000, delta +1 again: late after waiting 80 cycles.
+	b := tr.Issue(0, 0x401000, 1, 90, 200)
+	tr.Resolve(b, 0, OutLate, 280)
+	// PC 0x402000, delta -2: fills, spawns an L2 child, both die useless.
+	c := tr.Issue(0, 0x402000, -2, 40, 300)
+	child := tr.Child(c, 1, 310)
+	tr.Fill(c, 350)
+	tr.Fill(child, 360)
+	tr.Resolve(c, 0, OutUseless, 500)
+	tr.Resolve(child, 1, OutUseless, 600)
+	// PC 0x402000, delta -2: dropped as a duplicate.
+	d := tr.Issue(0, 0x402000, -2, 40, 700)
+	tr.Resolve(d, 0, OutDropped, 701)
+	return tr
+}
+
+// TestGoldenSchema pins the provenance JSON and CSV output byte-for-byte.
+// A diff here is a schema change: bump obs.SchemaVersion, regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/obs/provenance/, and note the change
+// in DESIGN.md §13.
+func TestGoldenSchema(t *testing.T) {
+	rep := goldenTracker().Report()
+
+	var jsonBuf bytes.Buffer
+	enc := json.NewEncoder(&jsonBuf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := rep.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	compare(t, filepath.Join("testdata", "report.golden.json"), jsonBuf.Bytes())
+	compare(t, filepath.Join("testdata", "attribution.golden.csv"), csvBuf.Bytes())
+}
+
+func compare(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from the pinned schema.\n--- got ---\n%s\n--- want ---\n%s\n"+
+			"If the change is intentional: bump obs.SchemaVersion and regenerate with UPDATE_GOLDEN=1.",
+			path, got, want)
+	}
+}

@@ -1,0 +1,495 @@
+// Package provenance follows every prefetch from the cycle it is accepted
+// into a prefetch queue to its terminal outcome: a timely first demand use,
+// a late-covered demand (the demand merged into the in-flight prefetch), an
+// eviction without any use, or a drop/merge that never installed a line.
+// Along the way it records fill latency and slack (cycles between fill and
+// first demand use — the paper's timeliness margin) into bounded log2
+// histograms, and aggregates outcomes into per-PC and per-delta attribution
+// tables that cross the prefetcher's own confidence at issue time against
+// ground-truth timeliness.
+//
+// The tracker is a pure observer: it never mutates simulation state, so a
+// run with tracking enabled produces byte-identical core statistics to one
+// without. It is also allocation-bounded: records live in a fixed-capacity
+// pool handed out through a free list, attribution tables are capped with
+// explicit overflow rows, and every emission from the cache is guarded by a
+// nil check so disabled runs pay nothing.
+package provenance
+
+import "math/bits"
+
+// DefaultCapacity is the record-pool size when NewTracker is given 0. A
+// record is live from PQ acceptance until its terminal outcome; 64K records
+// comfortably covers every in-flight prefetch plus every prefetched line
+// resident across a three-level hierarchy at the simulated sizes.
+const DefaultCapacity = 1 << 16
+
+// maxCapacity bounds the pool so record indices fit the 24-bit index field
+// of an ID (the top 8 bits carry the reuse generation).
+const maxCapacity = 1<<24 - 1
+
+// Table caps: distinct trigger PCs and distinct deltas tracked with their
+// own attribution row. Beyond the cap, outcomes fold into an "other" row
+// and the overflow is visible rather than silently dropped.
+const (
+	PCTableCap    = 4096
+	DeltaTableCap = 1024
+)
+
+// calBands is the number of confidence-calibration bands (deciles).
+const calBands = 10
+
+// Outcome is a prefetch's terminal state.
+type Outcome uint8
+
+// Terminal outcomes. OutTimely/OutLate/OutUseless mirror the cache's
+// PrefUseful/PrefLate/PrefUseless counters exactly; OutDropped covers
+// prefetches that never installed a tracked line (duplicate at PQ pop, or
+// data arriving for an already-resident line).
+const (
+	OutTimely Outcome = iota
+	OutLate
+	OutUseless
+	OutDropped
+	numOutcomes
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutTimely:
+		return "timely"
+	case OutLate:
+		return "late"
+	case OutUseless:
+		return "useless"
+	case OutDropped:
+		return "dropped"
+	default:
+		return "?"
+	}
+}
+
+// NumLevels is the number of cache levels tracked (L1D, L2, LLC).
+const NumLevels = 3
+
+// levelName maps a level index to its report name.
+func levelName(l int) string {
+	switch l {
+	case 0:
+		return "L1D"
+	case 1:
+		return "L2"
+	case 2:
+		return "LLC"
+	default:
+		return "?"
+	}
+}
+
+// record is one tracked prefetch (or one level's materialization of it).
+type record struct {
+	trigIP     uint64
+	delta      int64
+	issueCycle uint64
+	fillCycle  uint64
+	conf       uint8
+	level      uint8
+	gen        uint8
+	live       bool
+	filled     bool
+	// primary: created by Issue (the prefetcher's own request). Child
+	// records describe the extra installs a single prefetch performs at
+	// lower levels on the response path.
+	primary bool
+}
+
+// rowAgg is one attribution row's raw counters (per trigger PC or delta).
+type rowAgg struct {
+	issued   uint64
+	confSum  uint64
+	out      [numOutcomes]uint64
+	slackSum uint64
+	slackCnt uint64
+}
+
+// levelAgg is one cache level's raw counters and histograms.
+type levelAgg struct {
+	issued    uint64
+	spawned   uint64
+	fills     uint64
+	out       [numOutcomes]uint64
+	untracked [numOutcomes]uint64
+	stale     uint64
+
+	fillLat     Hist
+	slack       Hist
+	lateWait    Hist
+	uselessLife Hist
+}
+
+// calAgg is one confidence-decile band's raw counters (primary records
+// only: one entry per prefetch the prefetcher actually requested).
+type calAgg struct {
+	issued uint64
+	out    [numOutcomes]uint64
+}
+
+// Tracker is the per-prefetch lifecycle tracker. It is not safe for
+// concurrent use; the simulation engine is single-threaded and each Machine
+// owns at most one tracker.
+type Tracker struct {
+	pool []record
+	free []uint32 // free record indexes (LIFO)
+	live int
+
+	overflow uint64 // Issue/Child calls refused because the pool was full
+
+	levels [NumLevels]levelAgg
+
+	pcIdx  map[uint64]int32
+	pcRows []rowAgg
+	pcKeys []uint64
+	pcOver rowAgg // "other": PCs beyond PCTableCap
+	pcLost uint64 // distinct PCs folded into the other row
+
+	dIdx  map[int64]int32
+	dRows []rowAgg
+	dKeys []int64
+	dOver rowAgg
+	dLost uint64
+
+	cal [calBands]calAgg
+}
+
+// NewTracker builds a tracker with the given record-pool capacity
+// (DefaultCapacity when <= 0, clamped to the 24-bit index space).
+func NewTracker(capacity int) *Tracker {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if capacity > maxCapacity {
+		capacity = maxCapacity
+	}
+	t := &Tracker{
+		pool:  make([]record, capacity),
+		free:  make([]uint32, capacity),
+		pcIdx: make(map[uint64]int32, PCTableCap),
+		dIdx:  make(map[int64]int32, DeltaTableCap),
+	}
+	for i := range t.free {
+		// LIFO: hand out low indexes first.
+		t.free[i] = uint32(capacity - 1 - i)
+	}
+	return t
+}
+
+// Capacity returns the record-pool capacity.
+func (t *Tracker) Capacity() int { return len(t.pool) }
+
+// Live returns the number of records currently in flight (issued or
+// resident as an unused prefetched line).
+func (t *Tracker) Live() int { return t.live }
+
+// Overflow returns the number of Issue/Child calls refused because the
+// record pool was exhausted. Their outcomes surface as untracked counters.
+func (t *Tracker) Overflow() uint64 { return t.overflow }
+
+// id encodes a pool index and the record's reuse generation. 0 is the
+// untracked ID.
+func id(idx uint32, gen uint8) uint32 { return (idx + 1) | uint32(gen)<<24 }
+
+// lookup decodes an ID and returns the record if it is live and of the
+// same generation (a stale ID — freed and possibly reused — returns nil).
+func (t *Tracker) lookup(pid uint32) *record {
+	idx := pid&0xFFFFFF - 1
+	if int(idx) >= len(t.pool) {
+		return nil
+	}
+	r := &t.pool[idx]
+	if !r.live || r.gen != uint8(pid>>24) {
+		return nil
+	}
+	return r
+}
+
+// alloc pops a free record, returning nil when the pool is exhausted.
+func (t *Tracker) alloc() (*record, uint32) {
+	if len(t.free) == 0 {
+		t.overflow++
+		return nil, 0
+	}
+	idx := t.free[len(t.free)-1]
+	t.free = t.free[:len(t.free)-1]
+	r := &t.pool[idx]
+	gen := r.gen
+	*r = record{gen: gen, live: true}
+	t.live++
+	return r, id(idx, gen)
+}
+
+// release returns a record to the pool, bumping its generation so stale
+// IDs (e.g. held by deliberately-corrupted cache state) cannot alias the
+// next tenant.
+func (t *Tracker) release(r *record, pid uint32) {
+	r.live = false
+	r.gen++
+	t.live--
+	t.free = append(t.free, pid&0xFFFFFF-1)
+}
+
+// clampLevel keeps out-of-range levels (MEM, or a corrupted value) on the
+// last tracked level instead of indexing out of bounds.
+func clampLevel(level int) int {
+	if level < 0 {
+		return 0
+	}
+	if level >= NumLevels {
+		return NumLevels - 1
+	}
+	return level
+}
+
+// Issue registers a prefetch accepted into the issuing level's PQ and
+// returns its provenance ID (0 when the pool is full: the prefetch proceeds
+// untracked and its outcome lands in the untracked counters).
+func (t *Tracker) Issue(level int, trigIP uint64, delta int64, conf uint8, cycle uint64) uint32 {
+	r, pid := t.alloc()
+	if r == nil {
+		return 0
+	}
+	level = clampLevel(level)
+	if conf > 100 {
+		conf = 100
+	}
+	r.trigIP = trigIP
+	r.delta = delta
+	r.conf = conf
+	r.level = uint8(level)
+	r.issueCycle = cycle
+	r.primary = true
+	t.levels[level].issued++
+	pcRow := t.pcRow(trigIP)
+	pcRow.issued++
+	pcRow.confSum += uint64(conf)
+	dRow := t.dRow(delta)
+	dRow.issued++
+	dRow.confSum += uint64(conf)
+	t.cal[calBand(conf)].issued++
+	return pid
+}
+
+// Child registers the materialization of an already-tracked prefetch at a
+// lower level: non-inclusive fills install the line at every level >= the
+// fill level, and each install has its own independent outcome. The child
+// inherits the parent's trigger attribution. A 0 parent yields a 0 child.
+func (t *Tracker) Child(parent uint32, level int, cycle uint64) uint32 {
+	p := t.lookup(parent)
+	if p == nil {
+		if parent != 0 {
+			t.levels[clampLevel(level)].stale++
+		}
+		return 0
+	}
+	r, pid := t.alloc()
+	if r == nil {
+		return 0
+	}
+	level = clampLevel(level)
+	r.trigIP = p.trigIP
+	r.delta = p.delta
+	r.conf = p.conf
+	r.level = uint8(level)
+	r.issueCycle = cycle
+	t.levels[level].spawned++
+	return pid
+}
+
+// Relevel moves a record to a new level: a prefetch whose fill level is
+// below the issuing cache is handed straight down and only ever installs
+// (and resolves) at the lower level.
+func (t *Tracker) Relevel(pid uint32, level int) {
+	if r := t.lookup(pid); r != nil {
+		r.level = uint8(clampLevel(level))
+	}
+}
+
+// Fill records the cycle a tracked prefetch installed its line (prefetch
+// bit set), feeding the fill-latency histogram. The record stays live until
+// the line's first use or eviction.
+func (t *Tracker) Fill(pid uint32, cycle uint64) {
+	r := t.lookup(pid)
+	if r == nil {
+		return
+	}
+	r.filled = true
+	r.fillCycle = cycle
+	lv := &t.levels[r.level]
+	lv.fills++
+	lv.fillLat.Observe(cycle - r.issueCycle)
+}
+
+// Resolve records a terminal outcome. level is used only for the untracked
+// counters when pid is 0 (pool overflow) or stale; live records resolve at
+// their own level. Timely feeds the slack histogram (cycles the line sat
+// ready before its first demand use), Late the in-flight-wait histogram,
+// Useless the resident-lifetime histogram.
+func (t *Tracker) Resolve(pid uint32, level int, out Outcome, cycle uint64) {
+	if out >= numOutcomes {
+		return
+	}
+	r := t.lookup(pid)
+	if r == nil {
+		level = clampLevel(level)
+		if pid == 0 {
+			t.levels[level].untracked[out]++
+		} else {
+			t.levels[level].stale++
+		}
+		return
+	}
+	lv := &t.levels[r.level]
+	lv.out[out]++
+	base := r.issueCycle
+	if r.filled {
+		base = r.fillCycle
+	}
+	switch out {
+	case OutTimely:
+		lv.slack.Observe(cycle - base)
+	case OutLate:
+		lv.lateWait.Observe(cycle - r.issueCycle)
+	case OutUseless:
+		lv.uselessLife.Observe(cycle - base)
+	}
+	pcRow := t.pcRow(r.trigIP)
+	pcRow.out[out]++
+	dRow := t.dRow(r.delta)
+	dRow.out[out]++
+	if out == OutTimely {
+		slack := cycle - base
+		pcRow.slackSum += slack
+		pcRow.slackCnt++
+		dRow.slackSum += slack
+		dRow.slackCnt++
+	}
+	if r.primary {
+		t.cal[calBand(r.conf)].out[out]++
+	}
+	t.release(r, pid)
+}
+
+// pcRow returns the attribution row for a trigger PC, folding new PCs into
+// the overflow row once the table cap is reached.
+func (t *Tracker) pcRow(pc uint64) *rowAgg {
+	if i, ok := t.pcIdx[pc]; ok {
+		return &t.pcRows[i]
+	}
+	if len(t.pcRows) >= PCTableCap {
+		t.pcLost++
+		return &t.pcOver
+	}
+	t.pcIdx[pc] = int32(len(t.pcRows))
+	t.pcRows = append(t.pcRows, rowAgg{})
+	t.pcKeys = append(t.pcKeys, pc)
+	return &t.pcRows[len(t.pcRows)-1]
+}
+
+// dRow returns the attribution row for a delta, folding new deltas into the
+// overflow row once the table cap is reached.
+func (t *Tracker) dRow(d int64) *rowAgg {
+	if i, ok := t.dIdx[d]; ok {
+		return &t.dRows[i]
+	}
+	if len(t.dRows) >= DeltaTableCap {
+		t.dLost++
+		return &t.dOver
+	}
+	t.dIdx[d] = int32(len(t.dRows))
+	t.dRows = append(t.dRows, rowAgg{})
+	t.dKeys = append(t.dKeys, d)
+	return &t.dRows[len(t.dRows)-1]
+}
+
+// calBand maps a confidence percentage to its decile band (90-100 shares
+// the top band).
+func calBand(conf uint8) int {
+	b := int(conf) / 10
+	if b >= calBands {
+		b = calBands - 1
+	}
+	return b
+}
+
+// ResetCounters zeroes every aggregate — per-level counters, histograms,
+// attribution tables, calibration bands, and the overflow counter — while
+// keeping live records in flight. The engine calls it at measurement start
+// (where cache statistics are reset) so a prefetch issued during warmup
+// that resolves during measurement lands in the measured aggregates exactly
+// like its PrefUseful/PrefLate/PrefUseless counterpart.
+func (t *Tracker) ResetCounters() {
+	t.overflow = 0
+	for i := range t.levels {
+		t.levels[i] = levelAgg{}
+	}
+	t.pcRows = t.pcRows[:0]
+	t.pcKeys = t.pcKeys[:0]
+	t.pcOver = rowAgg{}
+	t.pcLost = 0
+	for k := range t.pcIdx {
+		delete(t.pcIdx, k)
+	}
+	t.dRows = t.dRows[:0]
+	t.dKeys = t.dKeys[:0]
+	t.dOver = rowAgg{}
+	t.dLost = 0
+	for k := range t.dIdx {
+		delete(t.dIdx, k)
+	}
+	for i := range t.cal {
+		t.cal[i] = calAgg{}
+	}
+}
+
+// HistBuckets is the number of log2 buckets: bucket 0 counts zero values,
+// bucket i >= 1 counts values in [2^(i-1), 2^i).
+const HistBuckets = 33
+
+// Hist is a bounded log2 histogram of cycle counts.
+type Hist struct {
+	count   uint64
+	sum     uint64
+	max     uint64
+	buckets [HistBuckets]uint64
+}
+
+// Observe folds one value into the histogram.
+func (h *Hist) Observe(v uint64) {
+	b := bits.Len64(v)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.count }
+
+// out converts the histogram to its report form, trimming trailing empty
+// buckets for compact deterministic JSON.
+func (h *Hist) out() HistOut {
+	n := HistBuckets
+	for n > 0 && h.buckets[n-1] == 0 {
+		n--
+	}
+	o := HistOut{Count: h.count, Sum: h.sum, Max: h.max}
+	if n > 0 {
+		o.Buckets = append([]uint64(nil), h.buckets[:n]...)
+	}
+	return o
+}

@@ -61,7 +61,12 @@ type Row struct {
 type TimeSeries struct {
 	SchemaVersion int    `json:"schema_version"`
 	IntervalInstr uint64 `json:"interval_instructions"`
-	Rows          []Row  `json:"rows"`
+	// ClampedRows counts intervals whose accuracy ratio exceeded 1 and was
+	// clamped (an interval-boundary miscount: a fill landing in one window
+	// with its use counted in another). Nonzero values flag windows whose
+	// per-interval accuracy is an approximation.
+	ClampedRows uint64 `json:"clamped_rows"`
+	Rows        []Row  `json:"rows"`
 }
 
 // Sampler converts snapshots taken at interval boundaries into Rows. The
@@ -72,6 +77,10 @@ type Sampler struct {
 	prev     Snapshot
 	began    bool
 	rows     []Row
+	clamped  uint64
+	// OnRow, when set, is invoked with every freshly-closed interval (the
+	// live metrics endpoint's subscription point). Set it before the run.
+	OnRow func(Row)
 }
 
 // NewSampler builds a sampler with the given interval (instructions per
@@ -135,7 +144,11 @@ func (s *Sampler) Record(snap Snapshot) {
 	if row.PfFills > 0 {
 		row.PfAccuracy = float64(row.PfUseful+row.PfLate) / float64(row.PfFills)
 		if row.PfAccuracy > 1 {
+			// An interval boundary split a prefetch's fill from its use:
+			// clamp the ratio but count the clamp so the miscount is
+			// visible in the series summary instead of silently hidden.
 			row.PfAccuracy = 1
+			s.clamped++
 		}
 	}
 	// DemandMisses already counts late prefetches (the demand would have
@@ -155,16 +168,23 @@ func (s *Sampler) Record(snap Snapshot) {
 	}
 	s.rows = append(s.rows, row)
 	s.prev = snap
+	if s.OnRow != nil {
+		s.OnRow(row)
+	}
 }
 
 // Rows returns the recorded intervals.
 func (s *Sampler) Rows() []Row { return s.rows }
+
+// ClampedRows returns how many intervals had their accuracy clamped to 1.
+func (s *Sampler) ClampedRows() uint64 { return s.clamped }
 
 // Series packages the recorded rows with schema metadata.
 func (s *Sampler) Series() *TimeSeries {
 	return &TimeSeries{
 		SchemaVersion: SchemaVersion,
 		IntervalInstr: s.interval,
+		ClampedRows:   s.clamped,
 		Rows:          s.rows,
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/bertisim/berti/internal/dram"
 	"github.com/bertisim/berti/internal/fault"
 	"github.com/bertisim/berti/internal/obs"
+	"github.com/bertisim/berti/internal/obs/provenance"
 	"github.com/bertisim/berti/internal/stats"
 	"github.com/bertisim/berti/internal/trace"
 	"github.com/bertisim/berti/internal/vm"
@@ -82,6 +83,10 @@ type Result struct {
 	// TimeSeries holds the per-interval samples when an observer with a
 	// sampler was attached before Run (nil otherwise).
 	TimeSeries *obs.TimeSeries
+	// Provenance holds the per-prefetch lifecycle report when a tracker was
+	// attached before Run (nil otherwise — omitted from JSON so disabled
+	// runs serialize byte-identically to builds without the tracker).
+	Provenance *provenance.Report `json:",omitempty"`
 }
 
 // IPC returns core 0's IPC (single-core convenience).
@@ -160,6 +165,10 @@ type Machine struct {
 
 	// watchdogCycles overrides StallWatchdogCycles (0 = default).
 	watchdogCycles uint64
+
+	// prov is the per-prefetch lifecycle tracker shared by every cache
+	// level (nil = disabled at zero cost: the caches guard every emission).
+	prov *provenance.Tracker
 }
 
 // New builds a machine: per-core L1D+L2 (private), a shared LLC sized
@@ -261,6 +270,22 @@ func (m *Machine) SetObserver(o *obs.Observer) {
 	}
 	m.llc.SetTracer(o.Tracer)
 }
+
+// SetProvenance attaches a per-prefetch lifecycle tracker, threading it
+// through every cache level so provenance IDs stay meaningful as prefetches
+// cross the hierarchy. Must be called before Run. The tracker is a pure
+// observer: core statistics are byte-identical with and without it.
+func (m *Machine) SetProvenance(t *provenance.Tracker) {
+	m.prov = t
+	for i := range m.l1ds {
+		m.l1ds[i].SetProvenance(t)
+		m.l2s[i].SetProvenance(t)
+	}
+	m.llc.SetProvenance(t)
+}
+
+// Provenance returns the attached tracker (nil if none).
+func (m *Machine) Provenance() *provenance.Tracker { return m.prov }
 
 // DefaultCheckInterval is the cycle stride between invariant sweeps.
 const DefaultCheckInterval = 10_000
@@ -491,6 +516,13 @@ func (m *Machine) Run() (*Result, error) {
 	}
 	m.llc.ResetStats()
 	m.dramC.Stats = stats.DRAMStats{}
+	if m.prov != nil {
+		// Zero the aggregates but keep live records: a prefetch issued in
+		// warmup that resolves during measurement lands in the measured
+		// aggregates exactly like its PrefUseful/PrefLate/PrefUseless
+		// counterpart does.
+		m.prov.ResetCounters()
+	}
 
 	// Arm the interval sampler: baseline at measurement start (counters
 	// just reset, only the cycle is nonzero).
@@ -553,6 +585,9 @@ func (m *Machine) Run() (*Result, error) {
 	if pf := m.l2s[0].Prefetcher(); pf != nil {
 		res.L2PfName = pf.Name()
 		res.L2PfBits = pf.StorageBits()
+	}
+	if m.prov != nil {
+		res.Provenance = m.prov.Report()
 	}
 	if m.checker != nil {
 		// Final sweep so short runs (or damage near the end) are still
