@@ -8,7 +8,15 @@
 //	experiments -all -j 8 -corpus-dir ~/.cache/berti-traces
 //	experiments -all -journal campaign.journal -json-out results.json
 //	experiments -all -journal campaign.journal -resume
+//	experiments -all -server http://127.0.0.1:9090
 //	BERTI_SCALE=quick experiments -all
+//
+// -server switches to thin-client mode: every simulation executes on a
+// bertid daemon (deduped there against every other client) while the
+// journal, reports, metrics, and exit codes stay local. -max-failures
+// bounds the failures logged verbatim per experiment; the overflow is
+// reported as suppressed but still counts toward the exit code and the
+// failed-run metric.
 //
 // -corpus-dir enables the content-addressed trace corpus: generated
 // workload traces are persisted there as v2 containers and simulations
@@ -48,6 +56,7 @@ import (
 	"github.com/bertisim/berti/internal/campaign"
 	"github.com/bertisim/berti/internal/harness"
 	"github.com/bertisim/berti/internal/obs/live"
+	"github.com/bertisim/berti/internal/server"
 	"github.com/bertisim/berti/internal/sim"
 )
 
@@ -80,6 +89,8 @@ func main() {
 	provOut := flag.String("provenance-out", "", "write the cross-workload attribution roll-up to this file (.json = JSON, else CSV); implies -provenance")
 	provCap := flag.Int("provenance-cap", 0, "per-run provenance record-pool capacity (0 = default 65536)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live campaign metrics (run counters, merged attribution, expvar) on this address")
+	serverURL := flag.String("server", "", "thin-client mode: run every simulation on the bertid daemon at this URL; journaling, reports, and metrics stay local")
+	maxFailures := flag.Int("max-failures", 0, "failures recorded verbatim per experiment (0 = default 64, negative = unbounded); overflow is suppressed from the log but still counts toward metrics and the exit code")
 	flag.Parse()
 
 	if *list {
@@ -120,12 +131,22 @@ func main() {
 	h.RunTimeout = *runTimeout
 	h.EnableProvenance = *provFlag || *provOut != ""
 	h.ProvenanceCap = *provCap
+	h.MaxFailures = *maxFailures
 	sched, err := sim.ParseScheduler(*schedFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
 	h.Scheduler = sched
+	// Thin-client mode: the daemon executes (and dedupes) every run; the
+	// local harness keeps its memo cache, journal, metrics, and reports, so
+	// everything downstream is oblivious to where the cycles were spent.
+	// Execution knobs (-check, -sched, -corpus-dir, provenance) belong to
+	// the daemon in this mode.
+	if *serverURL != "" {
+		h.Remote = server.NewClient(*serverURL).Run
+		fmt.Fprintf(os.Stderr, "experiments: running on daemon %s\n", *serverURL)
+	}
 
 	// The crash-safe campaign log: every completed run is journaled as it
 	// finishes; -resume seeds the memo cache so finished work is skipped.
@@ -212,27 +233,8 @@ func main() {
 		fmt.Printf("[%s took %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		// Experiments render from the surviving runs; report what was lost
 		// so a partially-failed artifact is never mistaken for a clean one.
-		// Failures are scoped per experiment (ResetFailures below), capped
-		// by the harness with the overflow reported as suppressed.
-		for _, f := range h.Failures() {
-			failed++
-			if metrics != nil {
-				metrics.RunFailed()
-			}
-			var dle *sim.DeadlineError
-			if errors.As(f, &dle) {
-				fmt.Fprintf(os.Stderr, "experiments: %s: run-timeout %v exceeded by spec %s (cycle %d; raise -run-timeout or lower BERTI_SCALE)\n",
-					e.ID, dle.Limit, f.Spec.Key(), dle.Snapshot.Cycle)
-				continue
-			}
-			fmt.Fprintf(os.Stderr, "experiments: %s: run failed: %v\n", e.ID, f)
-		}
-		if n := h.SuppressedFailures(); n > 0 {
-			failed += n
-			fmt.Fprintf(os.Stderr, "experiments: %s: ... and %d more failure(s) suppressed (cap %d)\n",
-				e.ID, n, harness.DefaultMaxFailures)
-		}
-		h.ResetFailures()
+		// Failures are scoped per experiment (noteFailures resets them).
+		failed += noteFailures(h, e.ID, metrics)
 		if ctx.Err() != nil {
 			interrupted = true
 			break
@@ -273,6 +275,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %d run(s) failed; reports above may be partial\n", failed)
 		os.Exit(1)
 	}
+}
+
+// noteFailures folds one experiment's failure report into the campaign
+// exit code and the live metrics, then resets the per-experiment scope.
+// Failures are capped by the harness (-max-failures); the overflow is
+// suppressed only from the verbatim log — every suppressed failure still
+// counts toward the returned total and the failed-run metric, so a
+// campaign whose failure set blew past the cap can never masquerade as
+// clean in either the exit code or /metrics.
+func noteFailures(h *harness.Harness, expID string, metrics *live.Server) int {
+	failed := 0
+	for _, f := range h.Failures() {
+		failed++
+		var dle *sim.DeadlineError
+		if errors.As(f, &dle) {
+			fmt.Fprintf(os.Stderr, "experiments: %s: run-timeout %v exceeded by spec %s (cycle %d; raise -run-timeout or lower BERTI_SCALE)\n",
+				expID, dle.Limit, f.Spec.Key(), dle.Snapshot.Cycle)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %s: run failed: %v\n", expID, f)
+	}
+	if n := h.SuppressedFailures(); n > 0 {
+		failed += n
+		cap := h.MaxFailures
+		if cap == 0 {
+			cap = harness.DefaultMaxFailures
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %s: ... and %d more failure(s) suppressed (cap %d)\n", expID, n, cap)
+	}
+	if metrics != nil {
+		for i := 0; i < failed; i++ {
+			metrics.RunFailed()
+		}
+	}
+	h.ResetFailures()
+	return failed
 }
 
 // writeReport emits the deterministic campaign report: every memoized

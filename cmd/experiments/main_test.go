@@ -3,9 +3,13 @@ package main
 import (
 	"bytes"
 	"errors"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -111,5 +115,113 @@ func TestKillAndResume(t *testing.T) {
 	}
 	if !bytes.Equal(want, got) {
 		t.Fatalf("resumed report differs from the uninterrupted one (%d vs %d bytes)", len(want), len(got))
+	}
+}
+
+// TestSuppressedFailuresStillFail: when a campaign's failure set blows
+// past -max-failures, the overflow is suppressed from the log but must
+// still fail the exit code — a fully-broken campaign can never look any
+// cleaner than a partially-broken one.
+func TestSuppressedFailuresStillFail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the experiments binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "experiments")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building experiments binary: %v\n%s", err, out)
+	}
+	// A 1ns run timeout fails every run; -max-failures 1 records one
+	// verbatim and suppresses the rest.
+	cmd := exec.Command(bin, "-run", "AblCalibration", "-run-timeout", "1ns", "-max-failures", "1")
+	cmd.Env = append(os.Environ(), "BERTI_SCALE=quick")
+	out, err := cmd.CombinedOutput()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Fatalf("all-suppressed failures must exit 1, got %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("suppressed (cap 1)")) {
+		t.Fatalf("suppressed overflow must be reported with its cap\n%s", out)
+	}
+}
+
+// TestServerThinClient: -server delegates every simulation to a bertid
+// daemon while reports stay local — so the thin client's -json-out must be
+// byte-identical to a purely local run of the same experiment.
+func TestServerThinClient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two binaries and runs a daemon")
+	}
+	dir := t.TempDir()
+	expBin := filepath.Join(dir, "experiments")
+	daemonBin := filepath.Join(dir, "bertid")
+	if out, err := exec.Command("go", "build", "-o", expBin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building experiments binary: %v\n%s", err, out)
+	}
+	if out, err := exec.Command("go", "build", "-o", daemonBin, "../bertid").CombinedOutput(); err != nil {
+		t.Fatalf("building bertid binary: %v\n%s", err, out)
+	}
+	env := append(os.Environ(), "BERTI_SCALE=quick")
+	const expID = "AblCalibration"
+
+	localJSON := filepath.Join(dir, "local.json")
+	local := exec.Command(expBin, "-run", expID, "-json-out", localJSON)
+	local.Env = env
+	if out, err := local.CombinedOutput(); err != nil {
+		t.Fatalf("local campaign failed: %v\n%s", err, out)
+	}
+
+	// Boot the daemon on a reserved loopback port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	daemon := exec.Command(daemonBin, "-addr", addr, "-data", filepath.Join(dir, "data"))
+	daemon.Env = env
+	var dout bytes.Buffer
+	daemon.Stdout, daemon.Stderr = &dout, &dout
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Signal(syscall.SIGTERM)
+		daemon.Wait()
+	}()
+	deadline := time.Now().Add(time.Minute)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy\n%s", dout.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	remoteJSON := filepath.Join(dir, "remote.json")
+	thin := exec.Command(expBin, "-run", expID, "-server", "http://"+addr, "-json-out", remoteJSON)
+	thin.Env = env
+	out, err := thin.CombinedOutput()
+	if err != nil {
+		t.Fatalf("thin-client campaign failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "running on daemon") {
+		t.Fatalf("thin client must announce the daemon it targets\n%s", out)
+	}
+
+	want, err := os.ReadFile(localJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(remoteJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("thin-client report differs from the local one (%d vs %d bytes)", len(want), len(got))
 	}
 }

@@ -1,0 +1,59 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// JournalExt is the file extension every per-campaign journal uses; ScanDir
+// recognizes journals by it.
+const JournalExt = ".journal"
+
+// ScanEntry is one journal file found by ScanDir. Exactly one of Journal
+// and Err is set: a loadable journal (tail damage already repaired) or the
+// reason the file could not be trusted (*HeaderError for non-journals and
+// damaged headers, an *os.PathError for I/O failures).
+type ScanEntry struct {
+	// ID is the campaign identifier: the file name without JournalExt.
+	ID string
+	// Path is the journal's full path.
+	Path string
+	// Journal is the loaded journal, nil when Err is set.
+	Journal *Journal
+	// Err is the load failure, nil when Journal is set.
+	Err error
+}
+
+// ScanDir enumerates the per-campaign journals of a daemon data directory:
+// every "*.journal" file, sorted by ID, each opened with the same
+// validate-and-repair load a single-journal resume uses (a torn tail costs
+// only the interrupted record, never the campaign). Files that fail to
+// load are reported per entry rather than failing the scan — a restarting
+// daemon resumes every healthy campaign and surfaces the damaged ones. A
+// missing directory yields an empty scan, not an error (a fresh daemon has
+// nothing to recover).
+func ScanDir(dir string) ([]ScanEntry, error) {
+	names, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []ScanEntry
+	for _, de := range names {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), JournalExt) {
+			continue
+		}
+		e := ScanEntry{
+			ID:   strings.TrimSuffix(de.Name(), JournalExt),
+			Path: filepath.Join(dir, de.Name()),
+		}
+		e.Journal, e.Err = Open(e.Path)
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package campaign
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestScanDirTornTailMix: a daemon data directory holding a healthy
+// journal, a torn-tail journal, a header-damaged file, and assorted
+// non-journal files must scan into per-entry outcomes — healthy campaigns
+// load, the torn tail is repaired at the cost of one record, the damaged
+// header is reported without failing the scan, and everything else is
+// ignored.
+func TestScanDirTornTailMix(t *testing.T) {
+	dir := t.TempDir()
+
+	// alpha: clean journal with two entries.
+	alpha, err := Create(filepath.Join(dir, "alpha.journal"), testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alpha.Append("w=a|l1=berti", fakeResult(1.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := alpha.Append("w=b|l1=ipcp", fakeResult(0.5)); err != nil {
+		t.Fatal(err)
+	}
+
+	// beta: two entries, then the tail torn mid-record (a crash mid-append).
+	betaPath := filepath.Join(dir, "beta.journal")
+	beta, err := Create(betaPath, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := beta.Append("w=a|l1=berti", fakeResult(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := beta.Append("w=c|l1=mlop", fakeResult(3)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(betaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(betaPath, data[:len(data)-15], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// gamma: not a journal at all (damaged header is unrecoverable).
+	if err := os.WriteFile(filepath.Join(dir, "gamma.journal"), []byte("not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ignored: manifests, temp files, directories.
+	if err := os.WriteFile(filepath.Join(dir, "alpha.manifest.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "alpha.journal.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "delta.journal"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("scan found %d journals, want 3: %+v", len(entries), entries)
+	}
+	byID := map[string]ScanEntry{}
+	for _, e := range entries {
+		byID[e.ID] = e
+	}
+	if entries[0].ID != "alpha" || entries[1].ID != "beta" || entries[2].ID != "gamma" {
+		t.Fatalf("scan order not sorted by ID: %v %v %v", entries[0].ID, entries[1].ID, entries[2].ID)
+	}
+
+	a := byID["alpha"]
+	if a.Err != nil || a.Journal == nil {
+		t.Fatalf("alpha must load cleanly, got err %v", a.Err)
+	}
+	if a.Journal.Len() != 2 || a.Journal.Dropped() != 0 {
+		t.Fatalf("alpha = %d entries / %d dropped, want 2/0", a.Journal.Len(), a.Journal.Dropped())
+	}
+
+	b := byID["beta"]
+	if b.Err != nil || b.Journal == nil {
+		t.Fatalf("beta (torn tail) must load with repair, got err %v", b.Err)
+	}
+	if b.Journal.Len() != 1 || b.Journal.Dropped() != 1 {
+		t.Fatalf("beta = %d entries / %d dropped, want 1/1 (torn record truncated)", b.Journal.Len(), b.Journal.Dropped())
+	}
+	// The repair must be durable: a direct reopen sees a clean journal.
+	if re, err := Open(betaPath); err != nil || re.Dropped() != 0 || re.Len() != 1 {
+		t.Fatalf("beta not repaired on disk: err=%v", err)
+	}
+
+	g := byID["gamma"]
+	if g.Journal != nil {
+		t.Fatal("gamma must not load")
+	}
+	var he *HeaderError
+	if !errors.As(g.Err, &he) {
+		t.Fatalf("gamma must fail with *HeaderError, got %v", g.Err)
+	}
+}
+
+// TestScanDirMissingAndEmpty: a missing directory is an empty scan (a
+// fresh daemon), as is a directory with no journals.
+func TestScanDirMissingAndEmpty(t *testing.T) {
+	if entries, err := ScanDir(filepath.Join(t.TempDir(), "never-created")); err != nil || len(entries) != 0 {
+		t.Fatalf("missing dir: got (%v, %v), want empty scan", entries, err)
+	}
+	if entries, err := ScanDir(t.TempDir()); err != nil || len(entries) != 0 {
+		t.Fatalf("empty dir: got (%v, %v), want empty scan", entries, err)
+	}
+}

@@ -370,11 +370,20 @@ type Harness struct {
 	// error — further prefetches go untracked and the report's overflow
 	// counter says how many.
 	ProvenanceCap int
+	// Remote, when set, replaces local simulation with a call to a campaign
+	// server (the cmd/experiments -server thin-client mode): the leader of
+	// each memo key sends the spec and memoizes whatever comes back.
+	// Memoization, single-flight dedup, and OnResult behave exactly as for
+	// local execution, so journals and live metrics keep working in client
+	// mode. The local retry policy is not applied — the transport owns its
+	// own polling and retries.
+	Remote func(ctx context.Context, spec RunSpec) (*sim.Result, error)
 
 	mu         sync.Mutex
 	traces     map[string]*trace.Slice
 	results    map[string]*sim.Result
 	errs       map[string]error
+	inflight   map[string]chan struct{}
 	failures   []*RunError
 	suppressed int
 	sem        chan struct{}
@@ -539,6 +548,53 @@ func (h *Harness) factory(name string, override *core.Config) (sim.PrefetcherFac
 	return func() cache.Prefetcher { return e.New() }, nil
 }
 
+// ValidateSpec resolves every registry name and override in spec without
+// executing anything — the campaign server's admission check. A rejected
+// spec yields the same typed *SpecError the run itself would fail with,
+// but with the offending spec field named ("L1DPf" instead of the generic
+// "Prefetcher"), so API clients get an addressable error.
+func ValidateSpec(spec RunSpec) error {
+	if spec.Workload == "" && len(spec.Mix) == 0 {
+		return &SpecError{Field: "Workload", Name: ""}
+	}
+	names := spec.Mix
+	if len(names) == 0 {
+		names = []string{spec.Workload}
+	}
+	for _, w := range names {
+		if _, ok := workloads.ByName(w); !ok {
+			return &SpecError{Field: "Workload", Name: w}
+		}
+	}
+	if err := validatePrefetcher("L1DPf", spec.L1DPf); err != nil {
+		return err
+	}
+	if err := validatePrefetcher("L2Pf", spec.L2Pf); err != nil {
+		return err
+	}
+	if spec.BertiOverride != nil && spec.L1DPf == "berti" {
+		if err := spec.BertiOverride.Validate(); err != nil {
+			return &SpecError{Field: "BertiOverride", Name: spec.L1DPf, Err: err}
+		}
+	}
+	if _, err := dramConfig(spec.DRAMCfg); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validatePrefetcher mirrors factory's name resolution ("" disables the
+// level; "oracle" is wired specially) with the spec field in the error.
+func validatePrefetcher(field, name string) error {
+	if name == "" || name == "oracle" {
+		return nil
+	}
+	if _, ok := prefetch.ByName(name); !ok {
+		return &SpecError{Field: field, Name: name}
+	}
+	return nil
+}
+
 func dramConfig(name string) (dram.Config, error) {
 	switch name {
 	case "", "ddr5-6400":
@@ -602,41 +658,73 @@ func (h *Harness) Run(spec RunSpec) (*sim.Result, error) {
 // the call returns an error chain holding a *sim.CancelError. Cancelled
 // runs are neither memoized nor recorded as failures — a resumed campaign
 // re-executes them.
+//
+// Identical specs are single-flight: when a spec's key is already
+// executing, further callers wait for that execution and share its
+// memoized outcome instead of running a duplicate simulation, so a spec
+// submitted concurrently by many clients executes exactly once and fires
+// OnResult exactly once. A waiter whose leader was cancelled (nothing
+// memoized) takes over as the new leader.
 func (h *Harness) RunContext(ctx context.Context, spec RunSpec) (*sim.Result, error) {
 	key := spec.key()
-	h.mu.Lock()
-	if r, ok := h.results[key]; ok {
+	for {
+		h.mu.Lock()
+		if r, ok := h.results[key]; ok {
+			h.mu.Unlock()
+			return r, nil
+		}
+		if err, ok := h.errs[key]; ok {
+			h.mu.Unlock()
+			return nil, err
+		}
+		wait, running := h.inflight[key]
+		if !running {
+			if h.inflight == nil {
+				h.inflight = map[string]chan struct{}{}
+			}
+			done := make(chan struct{})
+			h.inflight[key] = done
+			h.mu.Unlock()
+			return h.lead(ctx, spec, key, done)
+		}
 		h.mu.Unlock()
-		return r, nil
+		select {
+		case <-wait:
+			// The leader finished (or was cancelled); loop to re-read the
+			// memo — or take over the lead if nothing was recorded.
+		case <-ctx.Done():
+			return nil, &sim.CancelError{Cause: ctx.Err()}
+		}
 	}
-	if err, ok := h.errs[key]; ok {
-		h.mu.Unlock()
-		return nil, err
-	}
-	h.mu.Unlock()
+}
 
+// lead executes spec as the single in-flight owner of key: it runs the
+// simulation (or the Remote call in client mode), memoizes the outcome,
+// fires OnResult for a fresh success, and finally wakes every waiter.
+func (h *Harness) lead(ctx context.Context, spec RunSpec, key string, done chan struct{}) (*sim.Result, error) {
+	defer func() {
+		h.mu.Lock()
+		delete(h.inflight, key)
+		h.mu.Unlock()
+		close(done)
+	}()
 	release := h.acquire()
 	defer release()
-	// Re-check after acquiring (another worker may have finished it).
-	h.mu.Lock()
-	if r, ok := h.results[key]; ok {
-		h.mu.Unlock()
-		return r, nil
-	}
-	if err, ok := h.errs[key]; ok {
-		h.mu.Unlock()
-		return nil, err
-	}
-	h.mu.Unlock()
 
-	opts := RunOptions{}
-	if h.EnableChecks {
-		opts.Checker = check.New()
+	var r *sim.Result
+	var err error
+	if h.Remote != nil {
+		r, err = h.runRemote(ctx, spec)
+	} else {
+		opts := RunOptions{}
+		if h.EnableChecks {
+			opts.Checker = check.New()
+		}
+		if h.EnableProvenance {
+			opts.Provenance = provenance.NewTracker(h.ProvenanceCap)
+		}
+		r, err = h.runProtected(ctx, spec, opts)
 	}
-	if h.EnableProvenance {
-		opts.Provenance = provenance.NewTracker(h.ProvenanceCap)
-	}
-	r, err := h.runProtected(ctx, spec, opts)
 	if err != nil {
 		if !sim.IsCancel(err) {
 			h.mu.Lock()
@@ -655,6 +743,25 @@ func (h *Harness) RunContext(ctx context.Context, spec RunSpec) (*sim.Result, er
 	return r, nil
 }
 
+// runRemote delegates one run to the configured Remote transport. A
+// cancelled context surfaces as the usual typed cancel (unmemoized); any
+// other failure is recorded like a local run failure.
+func (h *Harness) runRemote(ctx context.Context, spec RunSpec) (*sim.Result, error) {
+	r, err := h.Remote(ctx, spec)
+	if err == nil {
+		return r, nil
+	}
+	if sim.IsCancel(err) {
+		return nil, err
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, &sim.CancelError{Cause: ctx.Err()}
+	}
+	re := &RunError{Spec: spec, Attempts: 1, Err: err}
+	h.recordFailure(re)
+	return nil, re
+}
+
 // SeedResult pre-loads the memo cache with a completed result (the resume
 // path: journal entries become memo hits, so a re-invoked campaign skips
 // finished work). Seeded results do not fire OnResult — they are already
@@ -666,6 +773,23 @@ func (h *Harness) SeedResult(key string, r *sim.Result) {
 	h.mu.Lock()
 	h.results[key] = r
 	h.mu.Unlock()
+}
+
+// ResultFor returns the memoized result for one run key — the campaign
+// server's poll path, which must not copy the whole result map per request.
+func (h *Harness) ResultFor(key string) (*sim.Result, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r, ok := h.results[key]
+	return r, ok
+}
+
+// ErrFor returns the memoized failure for one run key, if any.
+func (h *Harness) ErrFor(key string) (error, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	err, ok := h.errs[key]
+	return err, ok
 }
 
 // Results returns a snapshot of every memoized completed run, keyed by

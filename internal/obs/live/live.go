@@ -34,7 +34,10 @@ func bertiVars() *expvar.Map {
 	return pubMap
 }
 
-// Server serves live campaign metrics on an HTTP listener.
+// Server serves live campaign metrics. It either owns its own HTTP
+// listener (New) or is mounted onto an existing mux (NewServer + Mount —
+// the campaign server embeds the same endpoints without duplicating the
+// handler wiring).
 //
 //	GET /metrics             — JSON snapshot: schema version, run counters,
 //	                           sampler-row counters, the last RecentRows
@@ -58,6 +61,21 @@ type Server struct {
 	attrib func() any
 }
 
+// NewServer builds a listener-less metrics server for embedding: call
+// Mount to register its endpoints on an existing mux. Counters and the
+// sampler ring work identically to a listening server.
+func NewServer() *Server {
+	return &Server{recent: make([]obs.Row, RecentRows)}
+}
+
+// Mount registers the metrics endpoints on mux. The same wiring backs both
+// the standalone -metrics-addr listener and the campaign server's API mux.
+func (s *Server) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics/provenance", s.handleProvenance)
+	mux.Handle("/debug/vars", expvar.Handler())
+}
+
 // New binds addr (e.g. "localhost:0", ":8090") and starts serving. Close
 // the returned server to release the port.
 func New(addr string) (*Server, error) {
@@ -65,21 +83,32 @@ func New(addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, recent: make([]obs.Row, RecentRows)}
+	s := NewServer()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/metrics/provenance", s.handleProvenance)
-	mux.Handle("/debug/vars", expvar.Handler())
+	s.Mount(mux)
+	s.ln = ln
 	s.srv = &http.Server{Handler: mux}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
 
-// Addr returns the bound listener address (resolves ":0" binds for tests).
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+// Addr returns the bound listener address (resolves ":0" binds for tests);
+// empty for an embedded (Mount-only) server.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
 
-// Close shuts the listener down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the listener down (a no-op for an embedded server, whose
+// lifecycle belongs to the mux owner).
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
 
 // SetAttribution installs the provider for /metrics/provenance. The
 // provider is invoked per request and its result JSON-encoded — pass e.g. a

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"github.com/bertisim/berti/internal/obs"
@@ -105,4 +106,44 @@ func TestProvenanceEndpointAndExpvar(t *testing.T) {
 		t.Fatal(err)
 	}
 	s2.Close()
+}
+
+// TestMountOnExistingMux: an embedded server (NewServer + Mount) serves the
+// same endpoints through a caller-owned mux — the campaign-server wiring —
+// and its lifecycle helpers are safe without a listener.
+func TestMountOnExistingMux(t *testing.T) {
+	s := NewServer()
+	if s.Addr() != "" {
+		t.Fatalf("embedded server must have no address, got %q", s.Addr())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("embedded Close must be a no-op, got %v", err)
+	}
+
+	mux := http.NewServeMux()
+	s.Mount(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	s.RunCompleted()
+	s.RunFailed()
+	s.RecordRow(obs.Row{Interval: 3, IPC: 1.5})
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics via mounted mux = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("bad snapshot JSON: %v\n%s", err, body)
+	}
+	if snap.RunsCompleted != 1 || snap.RunsFailed != 1 || len(snap.Recent) != 1 {
+		t.Fatalf("mounted snapshot = %+v, want 1 completed / 1 failed / 1 row", snap)
+	}
+	if code, _ := get(t, ts.URL+"/debug/vars"); code != http.StatusOK {
+		t.Fatalf("expvar page via mounted mux = %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/metrics/provenance"); code != http.StatusNotFound {
+		t.Fatalf("provenance without provider via mounted mux = %d, want 404", code)
+	}
 }

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"github.com/bertisim/berti/internal/campaign"
+	"github.com/bertisim/berti/internal/harness"
+)
+
+// ManifestSchemaVersion governs the on-disk manifest shape.
+const ManifestSchemaVersion = 1
+
+// ManifestExt is the manifest file suffix, next to each ".journal".
+const ManifestExt = ".manifest.json"
+
+// Manifest records what a campaign IS — its full spec list — next to the
+// journal, which records what has FINISHED. The journal alone cannot
+// resume a campaign after a daemon restart: results computed for another
+// campaign (and deduped via the store) never hit this journal, and pending
+// specs appear nowhere. Manifest + journal + store together reconstruct
+// exact progress.
+type Manifest struct {
+	SchemaVersion int               `json:"schema_version"`
+	ID            string            `json:"id"`
+	Name          string            `json:"name,omitempty"`
+	Scale         harness.Scale     `json:"scale"`
+	Specs         []harness.RunSpec `json:"specs"`
+}
+
+// CampaignID derives the deterministic campaign identifier: a SHA-256 over
+// the scale and the sorted, deduplicated run keys, truncated to 16 hex
+// characters. Identical submissions — from any client, in any spec order —
+// map to the same campaign, which is what lets the server hand a second
+// client the first client's in-flight campaign instead of re-running it.
+func CampaignID(scale harness.Scale, specs []harness.RunSpec) string {
+	keys := make([]string, len(specs))
+	for i, s := range specs {
+		keys[i] = s.Key()
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%d|%d|%d\x00", scale.Name, scale.MemRecords, scale.WarmupInstr, scale.SimInstr)
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// dedupeSpecs drops repeated keys, keeping first occurrence order.
+func dedupeSpecs(specs []harness.RunSpec) []harness.RunSpec {
+	seen := make(map[string]bool, len(specs))
+	out := make([]harness.RunSpec, 0, len(specs))
+	for _, s := range specs {
+		k := s.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// writeManifest persists m atomically (temp + rename, like every other
+// on-disk artifact the campaign layer owns).
+func writeManifest(path string, m *Manifest) error {
+	body, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(body, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readManifest loads and sanity-checks a manifest.
+func readManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("server: manifest %s: %w", path, err)
+	}
+	if m.SchemaVersion != ManifestSchemaVersion || m.ID == "" || len(m.Specs) == 0 {
+		return nil, fmt.Errorf("server: manifest %s: missing or unsupported fields", path)
+	}
+	return &m, nil
+}
+
+// failedRun is one failed spec in a campaign's status and report.
+type failedRun struct {
+	Key   string `json:"key"`
+	Error string `json:"error"`
+}
+
+// campaignState is one submitted campaign's in-memory progress. The
+// counters move at batch granularity (noteBatch), fed by the sharded
+// queue's RunManyContext results.
+type campaignState struct {
+	id      string
+	name    string
+	specs   []harness.RunSpec
+	keys    map[string]bool // memo keys of every spec (OnResult fan-out filter)
+	journal *campaign.Journal
+
+	mu        sync.Mutex
+	remaining int // specs not yet completed or failed (cancelled stay remaining)
+	completed int
+	cancelled int // specs returned to the queue by a drain; resumed on restart
+	failed    []failedRun
+	finished  bool
+	done      chan struct{}          // closed when remaining hits zero
+	subs      map[chan struct{}]bool // stream subscribers poked on every change
+}
+
+func newCampaignState(id, name string, specs []harness.RunSpec, j *campaign.Journal) *campaignState {
+	keys := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		keys[s.Key()] = true
+	}
+	return &campaignState{
+		id:      id,
+		name:    name,
+		specs:   specs,
+		keys:    keys,
+		journal: j,
+		done:    make(chan struct{}),
+		subs:    map[chan struct{}]bool{},
+	}
+}
+
+// noteBatch folds one finished queue batch into the campaign's counters.
+func (c *campaignState) noteBatch(completed int, failed []failedRun, cancelled int) {
+	c.mu.Lock()
+	c.completed += completed
+	c.remaining -= completed + len(failed)
+	c.failed = append(c.failed, failed...)
+	c.cancelled += cancelled
+	c.maybeFinishLocked()
+	c.notifyLocked()
+	c.mu.Unlock()
+}
+
+// maybeFinishLocked closes done exactly once when no work remains.
+func (c *campaignState) maybeFinishLocked() {
+	if c.remaining == 0 && !c.finished {
+		c.finished = true
+		close(c.done)
+	}
+}
+
+// notifyLocked pokes every stream subscriber without blocking.
+func (c *campaignState) notifyLocked() {
+	for ch := range c.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// subscribe registers a progress listener; call the returned cancel to
+// drop it.
+func (c *campaignState) subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	c.mu.Lock()
+	c.subs[ch] = true
+	c.mu.Unlock()
+	return ch, func() {
+		c.mu.Lock()
+		delete(c.subs, ch)
+		c.mu.Unlock()
+	}
+}
+
+// Campaign states reported by the status endpoint.
+const (
+	StateRunning = "running" // work queued or in flight
+	StateDone    = "done"    // every spec completed
+	StateFailed  = "failed"  // finished, but some specs failed
+)
+
+// status assembles the externally-visible progress snapshot.
+func (c *campaignState) status() *CampaignStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := &CampaignStatus{
+		SchemaVersion: APISchemaVersion,
+		ID:            c.id,
+		Name:          c.name,
+		State:         StateRunning,
+		Total:         len(c.specs),
+		Completed:     c.completed,
+		Failed:        len(c.failed),
+		Cancelled:     c.cancelled,
+	}
+	if c.finished {
+		st.State = StateDone
+		if len(c.failed) > 0 {
+			st.State = StateFailed
+		}
+	}
+	return st
+}

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/bertisim/berti/internal/harness"
+	"github.com/bertisim/berti/internal/sim"
+)
+
+// Client is the thin-client transport: it satisfies the Harness.Remote
+// hook, so a local harness keeps its memoization, journaling, and metrics
+// while every actual simulation happens on a bertid daemon. The submit
+// call is idempotent (the memo key is the identity), so polling is just
+// re-POSTing the same spec.
+type Client struct {
+	base string
+	hc   *http.Client
+	// PollInterval is the initial result-poll delay (default 250ms; each
+	// poll backs off 1.5x up to PollMax).
+	PollInterval time.Duration
+	// PollMax caps the poll backoff (default 5s).
+	PollMax time.Duration
+}
+
+// NewClient targets a bertid daemon at base (e.g. "http://127.0.0.1:9090").
+func NewClient(base string) *Client {
+	return &Client{
+		base:         strings.TrimRight(base, "/"),
+		hc:           &http.Client{Timeout: 30 * time.Second},
+		PollInterval: 250 * time.Millisecond,
+		PollMax:      5 * time.Second,
+	}
+}
+
+// Base returns the daemon base URL this client targets.
+func (c *Client) Base() string { return c.base }
+
+// Run submits spec to the daemon and blocks until it completes, polling
+// the idempotent run endpoint. Install as Harness.Remote. Context
+// cancellation surfaces as *sim.CancelError so the harness treats it as a
+// resumable cancellation, not a failure.
+func (c *Client) Run(ctx context.Context, spec harness.RunSpec) (*sim.Result, error) {
+	delay := c.PollInterval
+	if delay <= 0 {
+		delay = 250 * time.Millisecond
+	}
+	max := c.PollMax
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	for {
+		st, err := c.postRun(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case "done":
+			if st.Result == nil {
+				return nil, fmt.Errorf("server: daemon reported %q done without a result", st.Key)
+			}
+			return st.Result, nil
+		case "failed":
+			return nil, fmt.Errorf("server: daemon run %q failed: %s", st.Key, st.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, &sim.CancelError{Cause: ctx.Err()}
+		case <-time.After(delay):
+		}
+		if delay = delay * 3 / 2; delay > max {
+			delay = max
+		}
+	}
+}
+
+// postRun performs one idempotent submit/poll round-trip.
+func (c *Client) postRun(ctx context.Context, spec harness.RunSpec) (*RunStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("server: encoding spec: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/api/v1/runs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, &sim.CancelError{Cause: ctx.Err()}
+		}
+		return nil, fmt.Errorf("server: daemon unreachable: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("server: reading daemon response: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+		var st RunStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			return nil, fmt.Errorf("server: decoding daemon response: %w", err)
+		}
+		return &st, nil
+	default:
+		return nil, decodeAPIError(resp.StatusCode, data)
+	}
+}
+
+// Submit posts a full campaign spec set, returning the acknowledgement.
+func (c *Client) Submit(ctx context.Context, name string, specs []harness.RunSpec) (*SubmitResponse, error) {
+	body, err := json.Marshal(SubmitRequest{Name: name, Specs: specs})
+	if err != nil {
+		return nil, fmt.Errorf("server: encoding campaign: %w", err)
+	}
+	var ack SubmitResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/api/v1/campaigns", body, &ack); err != nil {
+		return nil, err
+	}
+	return &ack, nil
+}
+
+// Status fetches one campaign's progress snapshot.
+func (c *Client) Status(ctx context.Context, id string) (*CampaignStatus, error) {
+	var st CampaignStatus
+	if err := c.doJSON(ctx, http.MethodGet, "/api/v1/campaigns/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Report fetches a finished campaign's raw report bytes (kept as served,
+// so client-side files stay byte-identical to the daemon's document).
+func (c *Client) Report(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/campaigns/"+id+"/report", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("server: daemon unreachable: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("server: reading daemon response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp.StatusCode, data)
+	}
+	return data, nil
+}
+
+// WaitCampaign polls a campaign until it leaves the running state.
+func (c *Client) WaitCampaign(ctx context.Context, id string) (*CampaignStatus, error) {
+	delay := c.PollInterval
+	if delay <= 0 {
+		delay = 250 * time.Millisecond
+	}
+	max := c.PollMax
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State != StateRunning {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, &sim.CancelError{Cause: ctx.Err()}
+		case <-time.After(delay):
+		}
+		if delay = delay * 3 / 2; delay > max {
+			delay = max
+		}
+	}
+}
+
+// doJSON is the shared request/decode path for the campaign endpoints.
+func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("server: daemon unreachable: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("server: reading daemon response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeAPIError(resp.StatusCode, data)
+	}
+	return json.Unmarshal(data, out)
+}
+
+// decodeAPIError turns a non-2xx body back into a typed error:
+// validation failures are rehydrated as *harness.SpecError so client-side
+// callers see exactly what a local harness would have returned.
+func decodeAPIError(code int, data []byte) error {
+	var doc apiError
+	if json.Unmarshal(data, &doc) == nil && doc.Error != "" {
+		if doc.Field != "" {
+			return &harness.SpecError{Field: doc.Field, Name: doc.Name, Err: errors.New(doc.Error)}
+		}
+		return fmt.Errorf("server: daemon returned %d: %s", code, doc.Error)
+	}
+	return fmt.Errorf("server: daemon returned %d", code)
+}

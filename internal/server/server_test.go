@@ -1,0 +1,419 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/bertisim/berti/internal/harness"
+	"github.com/bertisim/berti/internal/sim"
+)
+
+// srvScale keeps server tests fast (the harness tiers are exercised
+// elsewhere; here the simulations are just real-enough payloads).
+var srvScale = harness.Scale{Name: "srv-test", MemRecords: 30_000, WarmupInstr: 20_000, SimInstr: 50_000, Mixes: 2}
+
+func srvSpecs() []harness.RunSpec {
+	return []harness.RunSpec{
+		{Workload: "mcf_like_1554", L1DPf: "ip-stride"},
+		{Workload: "mcf_like_1554", L1DPf: "next-line"},
+		{Workload: "roms_like", L1DPf: "ip-stride"},
+	}
+}
+
+// newTestServer builds a server over a fresh harness and data dir and
+// registers cleanup. Tests that restart the daemon call New directly.
+func newTestServer(t *testing.T, dataDir string) (*Server, *harness.Harness) {
+	t.Helper()
+	h := harness.New(srvScale)
+	s, err := New(Options{Harness: h, DataDir: dataDir, Shards: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Drain)
+	return s, h
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestCampaignLifecycle drives the full happy path over real HTTP: submit,
+// watch status converge, and fetch a deterministic report — two fetches of
+// the same finished campaign must be byte-identical, and a duplicate
+// submission must attach to the existing campaign instead of re-running.
+func TestCampaignLifecycle(t *testing.T) {
+	s, _ := newTestServer(t, t.TempDir())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+	ctx := testCtx(t)
+
+	ack, err := cl.Submit(ctx, "lifecycle", srvSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Existing || ack.Total != 3 {
+		t.Fatalf("first submit: existing=%v total=%d, want fresh total 3", ack.Existing, ack.Total)
+	}
+	st, err := cl.WaitCampaign(ctx, ack.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Completed != 3 || st.Failed != 0 {
+		t.Fatalf("campaign finished as %+v, want done 3/3", st)
+	}
+
+	rep1, err := cl.Report(ctx, ack.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := cl.Report(ctx, ack.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rep1, rep2) {
+		t.Fatal("two report fetches of the same campaign differ")
+	}
+	var rep Report
+	if err := json.Unmarshal(rep1, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 3 || rep.ID != ack.ID {
+		t.Fatalf("report holds %d runs for %q, want 3 for %q", len(rep.Runs), rep.ID, ack.ID)
+	}
+	for i := 1; i < len(rep.Runs); i++ {
+		if rep.Runs[i-1].Key >= rep.Runs[i].Key {
+			t.Fatalf("report runs not sorted by key: %q then %q", rep.Runs[i-1].Key, rep.Runs[i].Key)
+		}
+	}
+
+	// Resubmitting the identical sweep (shuffled, with a duplicate) joins
+	// the finished campaign.
+	specs := srvSpecs()
+	specs = append([]harness.RunSpec{specs[2], specs[0], specs[1]}, specs[0])
+	again, err := cl.Submit(ctx, "lifecycle-again", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Existing || again.ID != ack.ID {
+		t.Fatalf("identical resubmit: existing=%v id=%q, want existing id %q", again.Existing, again.ID, ack.ID)
+	}
+}
+
+// TestConcurrentDuplicateSubmission is the dedup contract: two clients
+// POSTing the same spec set simultaneously share one campaign, and every
+// unique spec executes exactly once — OnResult (counted per key under
+// -race) must never fire twice for one key.
+func TestConcurrentDuplicateSubmission(t *testing.T) {
+	s, h := newTestServer(t, t.TempDir())
+	var mu sync.Mutex
+	perKey := map[string]int{}
+	prev := h.OnResult
+	h.OnResult = func(key string, spec harness.RunSpec, r *sim.Result) {
+		mu.Lock()
+		perKey[key]++
+		mu.Unlock()
+		prev(key, spec, r)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ctx := testCtx(t)
+
+	const clients = 4
+	acks := make([]*SubmitResponse, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			acks[i], errs[i] = NewClient(ts.URL).Submit(ctx, "dup", srvSpecs())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i := 1; i < clients; i++ {
+		if acks[i].ID != acks[0].ID {
+			t.Fatalf("clients landed on different campaigns: %q vs %q", acks[i].ID, acks[0].ID)
+		}
+	}
+	if _, err := NewClient(ts.URL).WaitCampaign(ctx, acks[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(perKey) != 3 {
+		t.Fatalf("OnResult saw %d distinct keys, want 3: %v", len(perKey), perKey)
+	}
+	for k, n := range perKey {
+		if n != 1 {
+			t.Fatalf("spec %q executed %d times, want exactly once", k, n)
+		}
+	}
+}
+
+// TestRestartResumesCampaign is the crash-resume contract in-process: a
+// campaign interrupted by a drain (standing in for SIGKILL — the journals
+// are write-through, so the drain adds nothing they need) must resume on a
+// fresh daemon over the same data dir and finish with a report
+// byte-identical to an uninterrupted run of the same sweep.
+func TestRestartResumesCampaign(t *testing.T) {
+	dataDir := t.TempDir()
+	ctx := testCtx(t)
+
+	// Reference: the same sweep run uninterrupted on a separate data dir.
+	ref, _ := newTestServer(t, t.TempDir())
+	refTS := httptest.NewServer(ref.Handler())
+	defer refTS.Close()
+	refCl := NewClient(refTS.URL)
+	refAck, err := refCl.Submit(ctx, "resume", srvSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := refCl.WaitCampaign(ctx, refAck.ID); err != nil {
+		t.Fatal(err)
+	}
+	want, err := refCl.Report(ctx, refAck.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Life 1: serialize the pool so the campaign cannot finish instantly,
+	// submit, wait for the first journaled completion, then tear down with
+	// work still pending.
+	h1 := harness.New(srvScale)
+	h1.Workers = 1
+	s1, err := New(Options{Harness: h1, DataDir: dataDir, Shards: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first atomic.Int32
+	prev := h1.OnResult
+	h1.OnResult = func(key string, spec harness.RunSpec, r *sim.Result) {
+		prev(key, spec, r)
+		first.Add(1)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	cl1 := NewClient(ts1.URL)
+	ack, err := cl1.Submit(ctx, "resume", srvSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.ID != refAck.ID {
+		t.Fatalf("same sweep produced different campaign IDs: %q vs %q", ack.ID, refAck.ID)
+	}
+	for first.Load() == 0 {
+		if ctx.Err() != nil {
+			t.Fatal("timed out waiting for the first completion")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	s1.Drain()
+	ts1.Close()
+	if st, err := cl1WaitlessStatus(s1, ack.ID); err == nil && st.Completed == st.Total {
+		t.Skip("campaign finished before the drain landed; nothing to resume")
+	}
+
+	// Life 2: a fresh daemon over the same data dir must recover the
+	// campaign from manifest+journal+store and finish it.
+	h2 := harness.New(srvScale)
+	s2, err := New(Options{Harness: h2, DataDir: dataDir, Shards: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s2.Drain)
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	cl2 := NewClient(ts2.URL)
+	st, err := cl2.WaitCampaign(ctx, ack.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Completed != 3 {
+		t.Fatalf("resumed campaign finished as %+v, want done 3/3", st)
+	}
+	got, err := cl2.Report(ctx, ack.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed report differs from uninterrupted report:\nresumed:\n%s\nuninterrupted:\n%s", got, want)
+	}
+}
+
+// cl1WaitlessStatus peeks at a campaign's status without HTTP (the test
+// server may already be closed).
+func cl1WaitlessStatus(s *Server, id string) (*CampaignStatus, error) {
+	c, ok := s.campaignByID(id)
+	if !ok {
+		return nil, errors.New("unknown campaign")
+	}
+	return c.status(), nil
+}
+
+// TestRemoteHarnessThinClient wires a second, client-side harness to the
+// daemon through Harness.Remote: runs execute on the daemon, memoize on
+// the client, and concurrent duplicate client calls still collapse.
+func TestRemoteHarnessThinClient(t *testing.T) {
+	s, _ := newTestServer(t, t.TempDir())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+	cl.PollInterval = 20 * time.Millisecond
+
+	local := harness.New(srvScale)
+	local.Remote = cl.Run
+	var fired atomic.Int32
+	local.OnResult = func(string, harness.RunSpec, *sim.Result) { fired.Add(1) }
+
+	spec := harness.RunSpec{Workload: "mcf_like_1554", L1DPf: "berti"}
+	out, err := local.RunMany([]harness.RunSpec{spec, spec, spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0] == nil || out[0] != out[1] || out[1] != out[2] {
+		t.Fatalf("thin-client duplicates did not share one result: %v", out)
+	}
+	if n := fired.Load(); n != 1 {
+		t.Fatalf("client-side OnResult fired %d times, want 1", n)
+	}
+	if out[0].IPC() <= 0 {
+		t.Fatalf("remote result has non-positive IPC: %v", out[0].IPC())
+	}
+	// The daemon now owns the result; a fresh client harness gets it from
+	// the store without a re-run (state "done" on first poll).
+	st, err := cl.postRun(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" {
+		t.Fatalf("daemon state for completed spec = %q, want done", st.State)
+	}
+}
+
+// TestSubmitValidation: invalid specs are rejected with the typed field
+// breakdown, rehydrated client-side as *harness.SpecError.
+func TestSubmitValidation(t *testing.T) {
+	s, _ := newTestServer(t, t.TempDir())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+	ctx := testCtx(t)
+
+	_, err := cl.Submit(ctx, "bad", []harness.RunSpec{{Workload: "no_such_workload", L1DPf: "berti"}})
+	var se *harness.SpecError
+	if !errors.As(err, &se) {
+		t.Fatalf("invalid workload: got %v, want *harness.SpecError", err)
+	}
+	if se.Field != "Workload" || se.Name != "no_such_workload" {
+		t.Fatalf("SpecError = %+v, want Field=Workload Name=no_such_workload", se)
+	}
+
+	_, err = cl.Submit(ctx, "bad", []harness.RunSpec{{Workload: "mcf_like_1554", L1DPf: "definitely-not-a-prefetcher"}})
+	if !errors.As(err, &se) || se.Field != "L1DPf" {
+		t.Fatalf("invalid prefetcher: got %v, want SpecError on L1DPf", err)
+	}
+
+	if _, err := cl.Submit(ctx, "empty", nil); err == nil || !strings.Contains(err.Error(), "at least one spec") {
+		t.Fatalf("empty submit: got %v, want at-least-one-spec error", err)
+	}
+
+	if _, err := cl.Status(ctx, "0000000000000000"); err == nil || !strings.Contains(err.Error(), "unknown campaign") {
+		t.Fatalf("unknown campaign: got %v", err)
+	}
+}
+
+// TestDrainRejectsNewWork: a draining daemon answers health with
+// "draining" and turns away new campaigns with 503.
+func TestDrainRejectsNewWork(t *testing.T) {
+	s, _ := newTestServer(t, t.TempDir())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.Drain()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.State != "draining" {
+		t.Fatalf("health state = %q, want draining", health.State)
+	}
+
+	_, err = NewClient(ts.URL).Submit(context.Background(), "late", srvSpecs())
+	if err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Fatalf("submit while draining: got %v, want draining rejection", err)
+	}
+}
+
+// TestStoreRoundTrip: the content-addressed store is idempotent, collision
+// -checked, and treats damage as a miss.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := harness.New(srvScale)
+	spec := harness.RunSpec{Workload: "mcf_like_1554", L1DPf: "next-line"}
+	r, err := h.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := spec.Key()
+	if err := st.Put(key, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(key, r); err != nil {
+		t.Fatalf("second Put must be a no-op, got %v", err)
+	}
+	got, ok := st.Get(key)
+	if !ok {
+		t.Fatal("Get missed a stored key")
+	}
+	a, _ := json.Marshal(r)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Fatal("stored result does not round-trip")
+	}
+	if _, ok := st.Get("w=never|mix=[]|l1=|l2=|dram=|seed=0"); ok {
+		t.Fatal("Get invented a result for an unknown key")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d entries, want 1", st.Len())
+	}
+	// Damage the entry on disk: Get must report a miss, not garbage.
+	if err := writeGarbage(st.path(key)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(key); ok {
+		t.Fatal("Get returned a damaged entry")
+	}
+}
+
+func writeGarbage(path string) error {
+	return os.WriteFile(path, []byte("{ damaged"), 0o644)
+}
