@@ -48,7 +48,49 @@ type report struct {
 	SimInstr    uint64    `json:"sim_instr"`
 	Reps        int       `json:"reps"`
 	GeneratedAt time.Time `json:"generated_at"`
-	Cells       []cell    `json:"cells"`
+	// CalibScore is the host-speed calibration (iterations/s of a fixed
+	// arithmetic + random-memory-walk loop) measured alongside the cells.
+	// kinstr/s is machine- and load-dependent; the gate scales the
+	// baseline by the calibration ratio so a slower CI runner or a noisy
+	// neighbour does not read as a simulator regression.
+	CalibScore float64 `json:"calib_score,omitempty"`
+	Cells      []cell  `json:"cells"`
+}
+
+// calibSink defeats dead-code elimination of the calibration loop.
+var calibSink uint64
+
+// calibScore measures single-thread host throughput with a workload shaped
+// like the simulator's inner loop — hash arithmetic plus dependent loads
+// over a 4 MB working set — and returns the best iterations/s of five short
+// reps. The loop is independent of the simulator packages, so a code
+// regression in the engine moves the cells but not the calibration, while a
+// slower host or background load moves both.
+func calibScore() float64 {
+	buf := make([]uint64, 1<<19) // 4 MB, LLC-sized: sensitive to memory contention
+	for i := range buf {
+		buf[i] = uint64(i)
+	}
+	const inner = 1 << 22
+	best := 0.0
+	s := uint64(0x9e3779b97f4a7c15)
+	for r := 0; r < 5; r++ {
+		start := time.Now()
+		acc := uint64(0)
+		for i := 0; i < inner; i++ {
+			s += 0x9e3779b97f4a7c15
+			z := s
+			z ^= z >> 30
+			z *= 0xbf58476d1ce4e5b9
+			z ^= z >> 27
+			acc += buf[z&uint64(len(buf)-1)]
+		}
+		calibSink += acc
+		if sc := inner / time.Since(start).Seconds(); sc > best {
+			best = sc
+		}
+	}
+	return best
 }
 
 // trajectorySchemaVersion governs the BENCH_engine.json container shape.
@@ -105,6 +147,11 @@ func loadTrajectory(path string) (*trajectory, error) {
 func main() {
 	out := flag.String("o", "BENCH_engine.json", "output path")
 	reps := flag.Int("reps", 3, "repetitions per cell (best is kept)")
+	gate := flag.Bool("gate", false,
+		"compare against the last committed trajectory entry instead of appending: "+
+			"exit 1 if any cell regresses by more than -gate-tol")
+	gateTol := flag.Float64("gate-tol", 0.10,
+		"allowed fractional kinstr/s regression per cell in -gate mode")
 	flag.Parse()
 
 	scale := harness.ScaleQuick
@@ -118,6 +165,7 @@ func main() {
 		SimInstr:    scale.SimInstr,
 		Reps:        *reps,
 		GeneratedAt: time.Now().UTC(),
+		CalibScore:  calibScore(),
 	}
 
 	workloads := []struct{ name, class string }{
@@ -155,6 +203,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchengine:", err)
 		os.Exit(1)
 	}
+	if *gate {
+		if err := checkGate(traj, rep, *gateTol); err != nil {
+			fmt.Fprintln(os.Stderr, "benchengine:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gate: no cell regressed more than %.0f%% vs the committed trajectory\n", *gateTol*100)
+		return
+	}
 	traj.Entries = append(traj.Entries, rep)
 	f, err := os.Create(*out)
 	if err != nil {
@@ -172,6 +228,63 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (run %d of the trajectory)\n", *out, len(traj.Entries))
+}
+
+// checkGate compares the fresh report against the newest committed
+// trajectory entry, cell by cell keyed on (workload, prefetcher, scheduler).
+// When both reports carry a calibration score the baseline is first scaled
+// by the host-speed ratio, so the comparison measures the simulator, not
+// the machine or its background load. A cell slower than the (scaled)
+// baseline by more than tol (fractional) is a regression; cells new in
+// this run (no baseline) or present only in the baseline are ignored, so
+// matrix growth does not break the gate. Scale mismatches are an error:
+// kinstr/s at quick scale cannot be compared to another scale's numbers.
+func checkGate(traj *trajectory, fresh report, tol float64) error {
+	if len(traj.Entries) == 0 {
+		return fmt.Errorf("gate: no committed trajectory entry to compare against")
+	}
+	base := traj.Entries[len(traj.Entries)-1]
+	if base.Scale != fresh.Scale {
+		return fmt.Errorf("gate: baseline scale %q != current scale %q", base.Scale, fresh.Scale)
+	}
+	hostRatio := 1.0
+	if base.CalibScore > 0 && fresh.CalibScore > 0 {
+		hostRatio = fresh.CalibScore / base.CalibScore
+		// Clamp: a calibration gap beyond 4x either way means the hosts
+		// are not comparable at all; fall back to the raw numbers rather
+		// than amplifying a bogus ratio.
+		if hostRatio < 0.25 || hostRatio > 4 {
+			hostRatio = 1.0
+		}
+		fmt.Printf("gate: host calibration ratio %.3f (baseline %.2e, now %.2e)\n",
+			hostRatio, base.CalibScore, fresh.CalibScore)
+	}
+	key := func(c cell) string { return c.Workload + "|" + c.Prefetcher + "|" + c.Scheduler }
+	baseline := make(map[string]float64, len(base.Cells))
+	for _, c := range base.Cells {
+		baseline[key(c)] = c.KInstrPerS * hostRatio
+	}
+	var failed []string
+	for _, c := range fresh.Cells {
+		want, ok := baseline[key(c)]
+		if !ok || want <= 0 {
+			continue
+		}
+		if c.KInstrPerS < want*(1-tol) {
+			failed = append(failed, fmt.Sprintf(
+				"%s pf=%s %s: %.1f kinstr/s, %.1f%% below baseline %.1f (tolerance %.0f%%)",
+				c.Workload, c.Prefetcher, c.Scheduler,
+				c.KInstrPerS, (1-c.KInstrPerS/want)*100, want, tol*100))
+		}
+	}
+	if len(failed) > 0 {
+		msg := "gate: throughput regression"
+		for _, f := range failed {
+			msg += "\n  " + f
+		}
+		return errors.New(msg)
+	}
+	return nil
 }
 
 // measure runs one matrix cell reps times and keeps the fastest wall time

@@ -4,6 +4,12 @@
 // baseline prefetchers need (per-access events with virtual addresses at
 // L1D, fill events with measured fetch latency, per-line prefetch bits and
 // 12-bit latency metadata).
+//
+// The per-access path is allocation-free in steady state: queues are
+// fixed-capacity value rings (internal/ringbuf), completion callbacks are
+// sink+token pairs or pooled waiter nodes instead of per-request closures,
+// and the PQ duplicate check is an open-addressed presence index rather
+// than a queue walk (see hotpath.go and DESIGN.md §15).
 package cache
 
 import (
@@ -12,6 +18,7 @@ import (
 	"github.com/bertisim/berti/internal/check"
 	"github.com/bertisim/berti/internal/obs"
 	"github.com/bertisim/berti/internal/obs/provenance"
+	"github.com/bertisim/berti/internal/ringbuf"
 	"github.com/bertisim/berti/internal/stats"
 )
 
@@ -62,6 +69,8 @@ const LineSize = 1 << LineShift
 
 // Req is a request travelling between hierarchy levels. Addresses are
 // line-granular (byte address >> LineShift) and physical below L1D.
+// Queues store Req by value; the structs callers pass to Accept* are
+// copied in, so a caller-owned Req never outlives the call.
 type Req struct {
 	// LineAddr is the physical line address.
 	LineAddr uint64
@@ -77,8 +86,16 @@ type Req struct {
 	// OnDone is invoked once with the cycle at which data is available
 	// to the requester. Nil for writes and fire-and-forget prefetches.
 	OnDone func(cycle uint64)
+	// Sink is the allocation-free alternative to OnDone: when OnDone is
+	// nil and Sink is set, completion is delivered as
+	// Sink.ReqDone(Token, cycle). The engine's hot path uses sinks
+	// exclusively — a closure per request is exactly the allocation this
+	// avoids.
+	Sink DoneSink
+	// Token identifies the request to its Sink (opaque to the cache).
+	Token uint64
 	// Store marks demand stores (write-allocate; the line is dirtied on
-	// fill). Writebacks are Store requests with a nil OnDone.
+	// fill). Writebacks are Store requests with no completion callback.
 	Store bool
 	// notBefore delays processing (translation latency etc.).
 	notBefore uint64
@@ -88,13 +105,21 @@ type Req struct {
 	// (0 = untracked; only prefetch requests built inside the cache layer
 	// ever set it).
 	provID uint32
+	// whead/wtail root the pooled waiter chain of requests combined into
+	// this one while it sits in the read queue (index+1 into the owning
+	// cache's pool; 0 = none). Only meaningful inside that cache.
+	whead, wtail int32
 }
+
+// hasDone reports whether the request carries any completion callback.
+func (r *Req) hasDone() bool { return r.OnDone != nil || r.Sink != nil }
 
 // Lower is the downstream interface of a cache: the next cache level or
 // the DRAM adaptor.
 type Lower interface {
 	// AcceptRead attempts to enqueue a read/prefetch; false means the
-	// target queue is full and the caller must retry.
+	// target queue is full and the caller must retry. The request is
+	// copied; the pointer is not retained.
 	AcceptRead(r *Req, cycle uint64) bool
 	// AcceptWrite attempts to enqueue a writeback.
 	AcceptWrite(r *Req, cycle uint64) bool
@@ -248,7 +273,9 @@ type mshr struct {
 	sentDown     bool
 	dataReady    bool
 	readyCycle   uint64
-	waiters      []func(cycle uint64)
+	// whead/wtail root the pooled waiter chain (index+1; 0 = none) of
+	// requests waiting on this fill, replacing a []func slice per entry.
+	whead, wtail int32
 	// provID names the in-flight prefetch's provenance record (0 when the
 	// entry is a demand miss, tracking is off, or the record resolved).
 	provID uint32
@@ -346,15 +373,29 @@ type Cache struct {
 	lines []line // sets*ways
 	lru   uint64
 	lower Lower
-	pf    Prefetcher
-	xlat  Translator
-	mshrs []mshr
-	rq    []*Req
-	wq    []*Req
-	pq    []pqEntry
+	// lowerC is lower when it is another *Cache: the common case, kept as
+	// a concrete pointer so the per-cycle send path skips interface
+	// dispatch (the DRAM adaptor below the LLC stays on the interface).
+	lowerC *Cache
+	pf     Prefetcher
+	xlat   Translator
+	mshrs  []mshr
+	rq     ringbuf.Ring[Req]
+	wq     ringbuf.Ring[Req]
+	pq     ringbuf.Ring[pqEntry]
 	// sendQ holds requests that must be pushed downstream (retried when
 	// the lower level's queues are full).
-	sendQ []*Req
+	sendQ ringbuf.Ring[Req]
+	// pqIdx indexes the plines currently in pq so the EnqueuePrefetches
+	// duplicate check is a probe, not a queue walk.
+	pqIdx lineSet
+	// wpool holds the waiter nodes chained off RQ entries and MSHRs;
+	// wfree heads its free list (index+1; 0 = empty).
+	wpool []waiterNode
+	wfree int32
+	// fillsReady counts MSHR entries with dataReady set that have not yet
+	// been consumed by processFills, so idle cycles skip the MSHR sweep.
+	fillsReady int
 	// trafficDown counts line requests sent to the lower level; wbDown
 	// counts writebacks sent to the lower level.
 	TrafficDown uint64
@@ -396,6 +437,18 @@ func New(cfg Config, lower Lower) (*Cache, error) {
 		xlat:  identityXlat{},
 		mshrs: make([]mshr, cfg.MSHRs),
 	}
+	if lc, ok := lower.(*Cache); ok {
+		c.lowerC = lc
+	}
+	c.rq.Init(cfg.RQSize)
+	c.wq.Init(cfg.WQSize)
+	c.pq.Init(cfg.PQSize)
+	c.sendQ.Init(cfg.MSHRs + cfg.WQSize)
+	c.pqIdx.init(cfg.PQSize)
+	// Size the waiter pool for the worst steady-state chain population:
+	// every MSHR and RQ entry can hold combined requests. Growth past
+	// this is an append, not an error.
+	c.wpool = make([]waiterNode, 0, 4*cfg.MSHRs+2*cfg.RQSize+16)
 	c.Stats.Name = cfg.Name
 	return c, nil
 }
@@ -609,12 +662,30 @@ func (c *Cache) MSHROccupancy() int {
 	return n
 }
 
-// AcceptRead implements Lower for the level above.
+// lowerAcceptRead forwards a read to the lower level through the concrete
+// pointer when it is another cache, avoiding interface dispatch on the
+// per-cycle drain path.
+func (c *Cache) lowerAcceptRead(r *Req, cycle uint64) bool {
+	if c.lowerC != nil {
+		return c.lowerC.AcceptRead(r, cycle)
+	}
+	return c.lower.AcceptRead(r, cycle)
+}
+
+func (c *Cache) lowerAcceptWrite(r *Req, cycle uint64) bool {
+	if c.lowerC != nil {
+		return c.lowerC.AcceptWrite(r, cycle)
+	}
+	return c.lower.AcceptWrite(r, cycle)
+}
+
+// AcceptRead implements Lower for the level above. The request is copied
+// into this level's queues; r is not retained.
 func (c *Cache) AcceptRead(r *Req, cycle uint64) bool {
-	if r.IsPrefetch && r.OnDone == nil {
+	if r.IsPrefetch && !r.hasDone() {
 		// Fire-and-forget prefetch that fills at or below this level:
 		// it enters this level's prefetch path (already physical).
-		if len(c.pq) >= c.cfg.PQSize {
+		if c.pq.Len() >= c.cfg.PQSize {
 			return false
 		}
 		if c.prov != nil && r.provID != 0 {
@@ -622,31 +693,36 @@ func (c *Cache) AcceptRead(r *Req, cycle uint64) bool {
 			// installing: the record follows it to this level.
 			c.prov.Relevel(r.provID, int(c.cfg.Level))
 		}
-		c.pq = append(c.pq, pqEntry{
+		c.pq.Push(pqEntry{
 			vline: r.VLineAddr, pline: r.LineAddr,
 			fillLevel: r.FillLevel, issue: cycle, notBefore: cycle,
 			provID: r.provID,
 		})
+		c.pqIdx.add(r.LineAddr)
 		return true
 	}
 	// Demand reads and prefetches whose data must propagate upward use
 	// the read queue so the response path is exercised.
-	if len(c.rq) >= c.cfg.RQSize {
+	if c.rq.Len() >= c.cfg.RQSize {
 		c.RQRejects++
 		return false
 	}
-	r.enqueued = cycle
-	c.rq = append(c.rq, r)
+	nr := *r
+	nr.enqueued = cycle
+	nr.whead, nr.wtail = 0, 0
+	c.rq.Push(nr)
 	return true
 }
 
 // AcceptWrite implements Lower for writebacks from the level above.
 func (c *Cache) AcceptWrite(r *Req, cycle uint64) bool {
-	if len(c.wq) >= c.cfg.WQSize {
+	if c.wq.Len() >= c.cfg.WQSize {
 		return false
 	}
-	r.enqueued = cycle
-	c.wq = append(c.wq, r)
+	nr := *r
+	nr.enqueued = cycle
+	nr.whead, nr.wtail = 0, 0
+	c.wq.Push(nr)
 	c.Stats.WritebacksIn++
 	return true
 }
@@ -655,18 +731,17 @@ func (c *Cache) AcceptWrite(r *Req, cycle uint64) bool {
 // processing by the translation latency. Same-line requests already waiting
 // in the read queue are combined (load combining), so a burst of accesses
 // to one line costs one cache lookup and counts as one demand access.
+// Combined completions are chained as pooled waiter nodes on the queue
+// entry — no closure wrapping, no allocation.
 func (c *Cache) AcceptDemand(r *Req, notBefore uint64) bool {
-	for _, q := range c.rq {
+	for i, n := 0, c.rq.Len(); i < n; i++ {
+		q := c.rq.At(i)
 		if q.LineAddr == r.LineAddr && !q.IsPrefetch {
-			if r.OnDone != nil {
-				if prev := q.OnDone; prev != nil {
-					next := r.OnDone
-					q.OnDone = func(cyc uint64) {
-						prev(cyc)
-						next(cyc)
-					}
+			if r.hasDone() {
+				if !q.hasDone() && q.whead == 0 {
+					q.OnDone, q.Sink, q.Token = r.OnDone, r.Sink, r.Token
 				} else {
-					q.OnDone = r.OnDone
+					c.chainWaiter(&q.whead, &q.wtail, r.Sink, r.Token, r.OnDone)
 				}
 			}
 			q.Store = q.Store || r.Store
@@ -676,26 +751,52 @@ func (c *Cache) AcceptDemand(r *Req, notBefore uint64) bool {
 			return true
 		}
 	}
-	if len(c.rq) >= c.cfg.RQSize {
+	if c.rq.Len() >= c.cfg.RQSize {
 		return false
 	}
-	r.notBefore = notBefore
-	r.enqueued = notBefore
-	c.rq = append(c.rq, r)
+	nr := *r
+	nr.notBefore = notBefore
+	nr.enqueued = notBefore
+	nr.whead, nr.wtail = 0, 0
+	c.rq.Push(nr)
 	return true
 }
 
 // RQOccupancy returns the demand read-queue length (core stall decisions).
-func (c *Cache) RQOccupancy() int { return len(c.rq) }
+func (c *Cache) RQOccupancy() int { return c.rq.Len() }
 
 // RQCap returns the read-queue capacity.
 func (c *Cache) RQCap() int { return c.cfg.RQSize }
 
+// completeReq fires the request's own callback and every waiter combined
+// onto it, in arrival order, then releases the chain.
+func (c *Cache) completeReq(r *Req, cycle uint64) {
+	if r.OnDone != nil {
+		r.OnDone(cycle)
+	} else if r.Sink != nil {
+		r.Sink.ReqDone(r.Token, cycle)
+	}
+	c.fireChain(r.whead, cycle)
+	r.whead, r.wtail = 0, 0
+}
+
+// adoptWaiters moves the request's own callback plus its combined chain
+// onto the MSHR's waiter chain (arrival order preserved).
+func (c *Cache) adoptWaiters(m *mshr, r *Req) {
+	if r.hasDone() {
+		c.chainWaiter(&m.whead, &m.wtail, r.Sink, r.Token, r.OnDone)
+	}
+	c.spliceChain(&m.whead, &m.wtail, r.whead, r.wtail)
+	r.whead, r.wtail = 0, 0
+}
+
 // EnqueuePrefetches inserts prefetcher-generated requests into the PQ,
 // translating them and deduplicating against the cache, MSHRs, and PQ.
+// The PQ duplicate check probes the presence index instead of walking the
+// queue.
 func (c *Cache) EnqueuePrefetches(reqs []PrefetchReq, cycle uint64, triggerVPage uint64) {
 	for _, pr := range reqs {
-		if len(c.pq) >= c.cfg.PQSize {
+		if c.pq.Len() >= c.cfg.PQSize {
 			c.Stats.PrefDropped++
 			continue
 		}
@@ -719,14 +820,7 @@ func (c *Cache) EnqueuePrefetches(reqs []PrefetchReq, cycle uint64, triggerVPage
 			c.Stats.PrefDropped++
 			continue
 		}
-		dup := false
-		for i := range c.pq {
-			if c.pq[i].pline == pline {
-				dup = true
-				break
-			}
-		}
-		if dup {
+		if c.pqIdx.contains(pline) {
 			c.Stats.PrefDropped++
 			continue
 		}
@@ -738,7 +832,7 @@ func (c *Cache) EnqueuePrefetches(reqs []PrefetchReq, cycle uint64, triggerVPage
 			}
 			provID = c.prov.Issue(int(c.cfg.Level), c.trigIP, delta, pr.Confidence, cycle)
 		}
-		c.pq = append(c.pq, pqEntry{
+		c.pq.Push(pqEntry{
 			vline:     pr.LineAddr,
 			pline:     pline,
 			fillLevel: pr.FillLevel,
@@ -746,6 +840,7 @@ func (c *Cache) EnqueuePrefetches(reqs []PrefetchReq, cycle uint64, triggerVPage
 			notBefore: cycle + extraLat,
 			provID:    provID,
 		})
+		c.pqIdx.add(pline)
 		c.Stats.PrefIssued++
 		if c.tr != nil {
 			c.emit(cycle, obs.EvPrefetchIssue, pline, c.trigIP)
@@ -763,16 +858,45 @@ func (c *Cache) Tick(cycle uint64) {
 	c.drainSendQ(cycle)
 }
 
-// processFills completes MSHR entries whose data has arrived.
+// processFills completes MSHR entries whose data has arrived. fillsReady
+// gates the sweep: most cycles no fill is pending and the MSHR file is
+// not touched at all.
 func (c *Cache) processFills(cycle uint64) {
+	if c.fillsReady == 0 {
+		return
+	}
 	for i := range c.mshrs {
 		m := &c.mshrs[i]
 		if !m.valid || !m.dataReady || m.readyCycle > cycle {
 			continue
 		}
 		c.fill(m, cycle)
+		c.fillsReady--
 		*m = mshr{}
 	}
+}
+
+// ReqDone implements DoneSink: completions for this level's own forwarded
+// misses arrive here with the missing line address as the token. This
+// replaces the per-request closure forwardDown used to allocate; the MSHR
+// array is stable, so the entry is re-located by address.
+func (c *Cache) ReqDone(lineAddr, done uint64) {
+	m := c.findMSHR(lineAddr)
+	if m == nil {
+		return
+	}
+	if c.fh != nil {
+		drop, delay := c.fh.FillFault(lineAddr, m.isPrefetch, done)
+		if drop {
+			return // swallowed: the MSHR entry leaks
+		}
+		done += delay
+	}
+	if !m.dataReady {
+		c.fillsReady++
+	}
+	m.dataReady = true
+	m.readyCycle = done
 }
 
 // fill installs the line (respecting fill level) and wakes waiters.
@@ -815,9 +939,8 @@ func (c *Cache) fill(m *mshr, cycle uint64) {
 			if !m.isPrefetch || m.demandMerged {
 				c.Stats.RecordFillLatency(latency)
 			}
-			for _, w := range m.waiters {
-				w(cycle)
-			}
+			c.fireChain(m.whead, cycle)
+			m.whead, m.wtail = 0, 0
 			return
 		}
 		v := c.victim(m.lineAddr)
@@ -891,9 +1014,8 @@ func (c *Cache) fill(m *mshr, cycle uint64) {
 			}
 		}
 	}
-	for _, w := range m.waiters {
-		w(cycle)
-	}
+	c.fireChain(m.whead, cycle)
+	m.whead, m.wtail = 0, 0
 }
 
 // trainAddr picks the training address space: virtual when available (L1D),
@@ -906,10 +1028,10 @@ func (c *Cache) trainAddr(vline, pline uint64) uint64 {
 }
 
 // writebackVictim queues a dirty victim for the lower level. A writeback is
-// a Store request with a nil OnDone (see drainSendQ).
+// a Store request with no completion callback (see drainSendQ).
 func (c *Cache) writebackVictim(v *line, cycle uint64) {
 	c.Stats.WritebacksOut++
-	c.sendQ = append(c.sendQ, &Req{
+	c.sendQ.Push(Req{
 		LineAddr:  v.addr,
 		VLineAddr: v.vaddr,
 		Store:     true,
@@ -922,8 +1044,8 @@ func (c *Cache) writebackVictim(v *line, cycle uint64) {
 // at L1D, which the core sends through AcceptDemand as stores).
 func (c *Cache) processWrites(cycle uint64) {
 	ports := c.cfg.WritePorts
-	for ports > 0 && len(c.wq) > 0 {
-		r := c.wq[0]
+	for ports > 0 && c.wq.Len() > 0 {
+		r := c.wq.Front()
 		if r.notBefore > cycle {
 			break
 		}
@@ -950,7 +1072,7 @@ func (c *Cache) processWrites(cycle uint64) {
 			*v = line{addr: r.LineAddr, vaddr: r.VLineAddr, valid: true, dirty: true}
 			c.insertRepl(v, r.LineAddr)
 		}
-		c.wq = c.wq[1:]
+		c.wq.PopFront()
 		ports--
 	}
 }
@@ -962,8 +1084,8 @@ func (c *Cache) processReads(cycle uint64) {
 	ports := c.cfg.ReadPorts
 	for _, wantPrefetch := range [2]bool{false, true} {
 		idx := 0
-		for ports > 0 && idx < len(c.rq) {
-			r := c.rq[idx]
+		for ports > 0 && idx < c.rq.Len() {
+			r := c.rq.At(idx)
 			if r.notBefore > cycle || r.IsPrefetch != wantPrefetch {
 				idx++
 				continue
@@ -978,7 +1100,7 @@ func (c *Cache) processReads(cycle uint64) {
 				return
 			}
 			if consumed {
-				c.rq = append(c.rq[:idx], c.rq[idx+1:]...)
+				c.rq.RemoveAt(idx)
 			} else {
 				idx++
 			}
@@ -988,7 +1110,8 @@ func (c *Cache) processReads(cycle uint64) {
 }
 
 // serviceRead handles one demand read. Returns done=false when the request
-// must be retried (MSHR full).
+// must be retried (MSHR full). r points into the read-queue ring; it is
+// only valid until the caller removes it.
 func (c *Cache) serviceRead(r *Req, cycle uint64) (done, consumed bool) {
 	if !r.IsPrefetch {
 		c.Stats.DemandAccesses++
@@ -1033,8 +1156,8 @@ func (c *Cache) serviceRead(r *Req, cycle uint64) (done, consumed bool) {
 				l.pfLatency = 0
 			}
 		}
-		if r.OnDone != nil {
-			r.OnDone(cycle + c.cfg.LatencyCyc)
+		if r.hasDone() || r.whead != 0 {
+			c.completeReq(r, cycle+c.cfg.LatencyCyc)
 		}
 		return true, true
 	}
@@ -1078,9 +1201,7 @@ func (c *Cache) serviceRead(r *Req, cycle uint64) (done, consumed bool) {
 				m.fillLevel = r.FillLevel
 			}
 		}
-		if r.OnDone != nil {
-			m.waiters = append(m.waiters, r.OnDone)
-		}
+		c.adoptWaiters(m, r)
 		return true, true
 	}
 
@@ -1115,9 +1236,7 @@ func (c *Cache) serviceRead(r *Req, cycle uint64) (done, consumed bool) {
 		issueCycle: cycle,
 		provID:     provID,
 	}
-	if r.OnDone != nil {
-		m.waiters = append(m.waiters, r.OnDone)
-	}
+	c.adoptWaiters(m, r)
 	c.forwardDown(m, cycle)
 	return true, true
 }
@@ -1151,10 +1270,11 @@ func (c *Cache) firePrefetcher(ev AccessEvent, cycle uint64) {
 	}
 }
 
-// forwardDown queues the miss to the lower level.
+// forwardDown queues the miss to the lower level. The completion path is
+// this cache's own ReqDone sink keyed by line address — no closure, no
+// allocation.
 func (c *Cache) forwardDown(m *mshr, cycle uint64) {
-	lineAddr := m.lineAddr
-	req := &Req{
+	c.sendQ.Push(Req{
 		LineAddr:   m.lineAddr,
 		VLineAddr:  m.vline,
 		IP:         m.ip,
@@ -1162,31 +1282,16 @@ func (c *Cache) forwardDown(m *mshr, cycle uint64) {
 		FillLevel:  m.fillLevel,
 		notBefore:  cycle,
 		provID:     m.provID,
-		OnDone: func(done uint64) {
-			// Locate the entry again: the MSHR array is stable.
-			mm := c.findMSHR(lineAddr)
-			if mm == nil {
-				return
-			}
-			if c.fh != nil {
-				drop, delay := c.fh.FillFault(lineAddr, mm.isPrefetch, done)
-				if drop {
-					return // swallowed: the MSHR entry leaks
-				}
-				done += delay
-			}
-			mm.dataReady = true
-			mm.readyCycle = done
-		},
-	}
-	c.sendQ = append(c.sendQ, req)
+		Sink:       c,
+		Token:      m.lineAddr,
+	})
 }
 
 // processPrefetches services the PQ: tag-check and forward misses.
 func (c *Cache) processPrefetches(cycle uint64) {
 	// One prefetch processed per cycle (PQ is FIFO per the paper).
-	for len(c.pq) > 0 {
-		e := c.pq[0]
+	for c.pq.Len() > 0 {
+		e := *c.pq.Front()
 		if e.notBefore > cycle {
 			return
 		}
@@ -1197,7 +1302,8 @@ func (c *Cache) processPrefetches(cycle uint64) {
 				// accepted this prefetch: it terminates without a line.
 				c.prov.Resolve(e.provID, int(c.cfg.Level), provenance.OutDropped, cycle)
 			}
-			c.pq = c.pq[1:]
+			c.pq.PopFront()
+			c.pqIdx.remove(e.pline)
 			continue
 		}
 		if c.cfg.Level >= e.fillLevel {
@@ -1227,71 +1333,93 @@ func (c *Cache) processPrefetches(cycle uint64) {
 			// the lower level so it can never block demand misses
 			// queued in sendQ. If the lower level is full, retry next
 			// cycle (the PQ itself is the bounded buffer).
-			ok := c.lower.AcceptRead(&Req{
+			req := Req{
 				LineAddr:   e.pline,
 				VLineAddr:  e.vline,
 				IsPrefetch: true,
 				FillLevel:  e.fillLevel,
 				notBefore:  cycle,
 				provID:     e.provID,
-			}, cycle)
-			if !ok {
+			}
+			if !c.lowerAcceptRead(&req, cycle) {
 				return
 			}
 			c.TrafficDown++
 		}
-		c.pq = c.pq[1:]
+		c.pq.PopFront()
+		c.pqIdx.remove(e.pline)
 		return // one per cycle
 	}
 }
 
 // drainSendQ pushes queued downstream requests into the lower level.
 // Prefetch requests that the lower level cannot accept are skipped rather
-// than blocking the demand misses and writebacks queued behind them.
+// than blocking the demand misses and writebacks queued behind them. The
+// queue is compacted in a single pass (kept entries slide forward), so a
+// drain is O(queue length) instead of O(n) per removal.
 func (c *Cache) drainSendQ(cycle uint64) {
-	idx := 0
-	for idx < len(c.sendQ) {
-		r := c.sendQ[idx]
+	n := c.sendQ.Len()
+	if n == 0 {
+		return
+	}
+	w := 0 // write cursor for kept entries
+	i := 0
+	for ; i < n; i++ {
+		r := c.sendQ.At(i)
 		if r.notBefore > cycle {
-			return
+			break // entries are in notBefore order; keep the rest
 		}
 		var ok bool
-		if r.Store && r.OnDone == nil {
-			ok = c.lower.AcceptWrite(r, cycle)
+		if r.Store && !r.hasDone() {
+			ok = c.lowerAcceptWrite(r, cycle)
 			if ok {
 				c.WBDown++
 			}
 		} else {
-			ok = c.lower.AcceptRead(r, cycle)
+			ok = c.lowerAcceptRead(r, cycle)
 			if ok {
 				c.TrafficDown++
 			}
 		}
-		if !ok {
-			if r.IsPrefetch {
-				idx++ // skip: retry next cycle without blocking demands
-				continue
-			}
-			return
+		if ok {
+			continue // sent: not kept
 		}
-		c.sendQ = append(c.sendQ[:idx], c.sendQ[idx+1:]...)
+		if r.IsPrefetch {
+			// Skip: retry next cycle without blocking demands.
+			if w != i {
+				*c.sendQ.At(w) = *r
+			}
+			w++
+			continue
+		}
+		break // blocked demand/writeback: keep it and everything behind
 	}
+	// Keep the unprocessed tail.
+	for ; i < n; i++ {
+		if w != i {
+			*c.sendQ.At(w) = *c.sendQ.At(i)
+		}
+		w++
+	}
+	c.sendQ.Truncate(w)
 }
 
 // Promote implements Lower: upgrade in-flight prefetches for the line to
 // demand priority here and below.
 func (c *Cache) Promote(lineAddr uint64) {
-	for _, r := range c.sendQ {
-		if r.LineAddr == lineAddr {
+	for i, n := 0, c.sendQ.Len(); i < n; i++ {
+		if r := c.sendQ.At(i); r.LineAddr == lineAddr {
 			r.IsPrefetch = false
 		}
 	}
-	for _, r := range c.rq {
-		if r.LineAddr == lineAddr {
+	for i, n := 0, c.rq.Len(); i < n; i++ {
+		if r := c.rq.At(i); r.LineAddr == lineAddr {
 			r.IsPrefetch = false
 		}
 	}
-	if c.lower != nil {
+	if c.lowerC != nil {
+		c.lowerC.Promote(lineAddr)
+	} else if c.lower != nil {
 		c.lower.Promote(lineAddr)
 	}
 }
@@ -1309,7 +1437,8 @@ const never = ^uint64(0)
 // the lower component's event, and the engine re-queries after every tick.
 func (c *Cache) NextEventCycle(now uint64) uint64 {
 	h := never
-	for _, r := range c.rq {
+	for i, n := 0, c.rq.Len(); i < n; i++ {
+		r := c.rq.At(i)
 		if r.notBefore <= now {
 			return now
 		}
@@ -1317,36 +1446,38 @@ func (c *Cache) NextEventCycle(now uint64) uint64 {
 			h = r.notBefore
 		}
 	}
-	for i := range c.mshrs {
-		m := &c.mshrs[i]
-		if !m.valid || !m.dataReady {
-			continue
-		}
-		if m.readyCycle <= now {
-			return now
-		}
-		if m.readyCycle < h {
-			h = m.readyCycle
+	if c.fillsReady > 0 {
+		for i := range c.mshrs {
+			m := &c.mshrs[i]
+			if !m.valid || !m.dataReady {
+				continue
+			}
+			if m.readyCycle <= now {
+				return now
+			}
+			if m.readyCycle < h {
+				h = m.readyCycle
+			}
 		}
 	}
 	// wq, pq, and sendQ are head-gated: entries behind the head cannot be
 	// reached before the head itself is processed (an event).
-	if len(c.wq) > 0 {
-		if nb := c.wq[0].notBefore; nb <= now {
+	if c.wq.Len() > 0 {
+		if nb := c.wq.Front().notBefore; nb <= now {
 			return now
 		} else if nb < h {
 			h = nb
 		}
 	}
-	if len(c.pq) > 0 {
-		if nb := c.pq[0].notBefore; nb <= now {
+	if c.pq.Len() > 0 {
+		if nb := c.pq.Front().notBefore; nb <= now {
 			return now
 		} else if nb < h {
 			h = nb
 		}
 	}
-	if len(c.sendQ) > 0 {
-		if nb := c.sendQ[0].notBefore; nb <= now {
+	if c.sendQ.Len() > 0 {
+		if nb := c.sendQ.Front().notBefore; nb <= now {
 			return now
 		} else if nb < h {
 			h = nb
@@ -1357,7 +1488,7 @@ func (c *Cache) NextEventCycle(now uint64) uint64 {
 
 // Drained reports whether all queues and MSHRs are empty.
 func (c *Cache) Drained() bool {
-	if len(c.rq) > 0 || len(c.wq) > 0 || len(c.pq) > 0 || len(c.sendQ) > 0 {
+	if c.rq.Len() > 0 || c.wq.Len() > 0 || c.pq.Len() > 0 || c.sendQ.Len() > 0 {
 		return false
 	}
 	for i := range c.mshrs {
@@ -1393,10 +1524,10 @@ func (c *Cache) Queues() QueueSnapshot {
 	return QueueSnapshot{
 		Name:  c.cfg.Name,
 		MSHR:  c.MSHROccupancy(),
-		RQ:    len(c.rq),
-		WQ:    len(c.wq),
-		PQ:    len(c.pq),
-		SendQ: len(c.sendQ),
+		RQ:    c.rq.Len(),
+		WQ:    c.wq.Len(),
+		PQ:    c.pq.Len(),
+		SendQ: c.sendQ.Len(),
 	}
 }
 
@@ -1407,17 +1538,17 @@ func (c *Cache) Queues() QueueSnapshot {
 // fill — nothing will ever complete them). It never mutates state.
 func (c *Cache) CheckInvariants(cycle, mshrStuckAfter uint64, report func(check.Violation)) {
 	name := c.cfg.Name
-	if len(c.rq) > c.cfg.RQSize {
+	if c.rq.Len() > c.cfg.RQSize {
 		report(check.Violation{Rule: check.RuleQueueBound, Component: name, Cycle: cycle,
-			Detail: fmt.Sprintf("RQ holds %d entries, capacity %d", len(c.rq), c.cfg.RQSize)})
+			Detail: fmt.Sprintf("RQ holds %d entries, capacity %d", c.rq.Len(), c.cfg.RQSize)})
 	}
-	if len(c.wq) > c.cfg.WQSize {
+	if c.wq.Len() > c.cfg.WQSize {
 		report(check.Violation{Rule: check.RuleQueueBound, Component: name, Cycle: cycle,
-			Detail: fmt.Sprintf("WQ holds %d entries, capacity %d", len(c.wq), c.cfg.WQSize)})
+			Detail: fmt.Sprintf("WQ holds %d entries, capacity %d", c.wq.Len(), c.cfg.WQSize)})
 	}
-	if len(c.pq) > c.cfg.PQSize {
+	if c.pq.Len() > c.cfg.PQSize {
 		report(check.Violation{Rule: check.RuleQueueBound, Component: name, Cycle: cycle,
-			Detail: fmt.Sprintf("PQ holds %d entries, capacity %d", len(c.pq), c.cfg.PQSize)})
+			Detail: fmt.Sprintf("PQ holds %d entries, capacity %d", c.pq.Len(), c.cfg.PQSize)})
 	}
 	for s := 0; s < c.sets; s++ {
 		set := c.lines[s*c.cfg.Ways : (s+1)*c.cfg.Ways]
@@ -1485,8 +1616,10 @@ func (c *Cache) CorruptDuplicateTag() bool {
 // its configured bound — deliberate damage used by the pq-orphan fault
 // plan. The entries target line 0 with notBefore in the far future so they
 // are never serviced and the overflow persists for the checker to find.
+// The ring and the presence index both tolerate the deliberate overfill.
 func (c *Cache) CorruptPQOrphans(n int) {
-	for len(c.pq) < c.cfg.PQSize+n {
-		c.pq = append(c.pq, pqEntry{notBefore: ^uint64(0)})
+	for c.pq.Len() < c.cfg.PQSize+n {
+		c.pq.Push(pqEntry{notBefore: ^uint64(0)})
+		c.pqIdx.add(0)
 	}
 }

@@ -28,9 +28,13 @@ func (f *fakeLower) AcceptRead(r *Req, cycle uint64) bool {
 		f.refuseNext--
 		return false
 	}
-	f.reads = append(f.reads, r)
+	cp := *r // r points into the sender's ring; copy before retaining
+	f.reads = append(f.reads, &cp)
 	if r.OnDone != nil {
 		f.pending = append(f.pending, pendingResp{at: cycle + f.delay, cb: r.OnDone})
+	} else if r.Sink != nil {
+		sink, tok := r.Sink, r.Token
+		f.pending = append(f.pending, pendingResp{at: cycle + f.delay, cb: func(cyc uint64) { sink.ReqDone(tok, cyc) }})
 	}
 	return true
 }
@@ -40,7 +44,8 @@ func (f *fakeLower) AcceptWrite(r *Req, cycle uint64) bool {
 		f.refuseNext--
 		return false
 	}
-	f.writes = append(f.writes, r)
+	cp := *r
+	f.writes = append(f.writes, &cp)
 	return true
 }
 

@@ -176,9 +176,10 @@ type Berti struct {
 	DiscardDeltas uint64
 
 	// scratch buffers avoid per-access allocation.
-	scratch  []cache.PrefetchReq
-	cands    []deltaCand
-	deltaOut []int64
+	scratch    []cache.PrefetchReq
+	cands      []deltaCand
+	deltaOut   []int64
+	idxScratch []int
 }
 
 // deltaCand is a timely-delta search candidate.
@@ -250,6 +251,9 @@ func New(cfg Config) *Berti {
 	for i := range b.table {
 		b.table[i].deltas = make([]deltaSlot, cfg.DeltasPerEntry)
 	}
+	// closePhase ranks at most DeltasPerEntry candidates; pre-sizing the
+	// index scratch keeps the access path allocation-free.
+	b.idxScratch = make([]int, 0, cfg.DeltasPerEntry)
 	return b
 }
 
@@ -500,7 +504,7 @@ func (b *Berti) closePhase(e *deltaEntry) {
 	b.PhaseResets++
 	// Rank candidate deltas by coverage so the MaxSelectedDeltas bound
 	// keeps the best ones.
-	idx := make([]int, 0, len(e.deltas))
+	idx := b.idxScratch[:0]
 	for i := range e.deltas {
 		if e.deltas[i].delta != 0 {
 			idx = append(idx, i)

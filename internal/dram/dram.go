@@ -9,6 +9,7 @@
 package dram
 
 import (
+	"github.com/bertisim/berti/internal/ringbuf"
 	"github.com/bertisim/berti/internal/stats"
 )
 
@@ -61,7 +62,15 @@ func configWithBurst(burst uint64) Config {
 	}
 }
 
-// Request is one line-sized DRAM transaction.
+// DoneSink receives read completions without a per-request closure; the
+// requester demultiplexes by token. Structurally identical to
+// cache.DoneSink so the layer above can hand its sink straight through.
+type DoneSink interface {
+	ReqDone(token, cycle uint64)
+}
+
+// Request is one line-sized DRAM transaction. Queues store Request by
+// value; the struct a caller passes to Enqueue* is copied in.
 type Request struct {
 	LineAddr uint64 // physical line address (byte addr >> 6)
 	Write    bool
@@ -70,7 +79,12 @@ type Request struct {
 	IsPrefetch bool
 	// OnComplete is invoked with the cycle at which the data transfer
 	// finishes (nil for writes, which are posted).
-	OnComplete   func(doneCycle uint64)
+	OnComplete func(doneCycle uint64)
+	// Sink/Token are the allocation-free completion path used when
+	// OnComplete is nil: the transfer finishing calls
+	// Sink.ReqDone(Token, doneCycle).
+	Sink         DoneSink
+	Token        uint64
 	enqueueCycle uint64
 }
 
@@ -87,18 +101,21 @@ type transfer struct {
 	write    bool
 	prefetch bool
 	onDone   func(uint64)
+	sink     DoneSink
+	token    uint64
 }
 
 // Channel is one DRAM channel. Commands and data transfers are decoupled:
 // banks activate and read in parallel, and only the burst occupies the
 // shared data bus, so a row miss on one bank never stalls transfers from
-// other banks.
+// other banks. Queues are fixed-capacity value rings: the steady-state
+// enqueue/issue/complete path allocates nothing.
 type Channel struct {
 	cfg       Config
 	banks     []bank
-	rq        []*Request
-	wq        []*Request
-	transfers []transfer
+	rq        ringbuf.Ring[Request]
+	wq        ringbuf.Ring[Request]
+	transfers ringbuf.Ring[transfer]
 	busFree   uint64
 	draining  bool
 	Stats     stats.DRAMStats
@@ -106,10 +123,15 @@ type Channel struct {
 
 // NewChannel builds a channel from cfg.
 func NewChannel(cfg Config) *Channel {
-	return &Channel{
+	c := &Channel{
 		cfg:   cfg,
 		banks: make([]bank, cfg.Banks),
 	}
+	c.rq.Init(cfg.RQSize)
+	c.wq.Init(cfg.WQSize)
+	// Every queued request can be in flight as a transfer at once.
+	c.transfers.Init(cfg.RQSize + cfg.WQSize)
+	return c
 }
 
 // lineAddr is a 64-byte line address; map to bank and row.
@@ -120,41 +142,51 @@ func (c *Channel) decode(lineAddr uint64) (bankIdx int, row uint64) {
 	return bankIdx, row
 }
 
+// complete fires a read's completion callback (closure or sink).
+func complete(onDone func(uint64), sink DoneSink, token, cycle uint64) {
+	if onDone != nil {
+		onDone(cycle)
+	} else if sink != nil {
+		sink.ReqDone(token, cycle)
+	}
+}
+
 // EnqueueRead attempts to add a read; returns false when the RQ is full.
+// r is copied; the pointer is not retained.
 func (c *Channel) EnqueueRead(r *Request, cycle uint64) bool {
 	// Forward from the write queue: a read that matches a queued write
 	// is serviced immediately from the WQ data.
-	for _, w := range c.wq {
-		if w.LineAddr == r.LineAddr {
-			if r.OnComplete != nil {
-				r.OnComplete(cycle + 1)
-			}
+	for i, n := 0, c.wq.Len(); i < n; i++ {
+		if c.wq.At(i).LineAddr == r.LineAddr {
+			complete(r.OnComplete, r.Sink, r.Token, cycle+1)
 			return true
 		}
 	}
-	if len(c.rq) >= c.cfg.RQSize {
+	if c.rq.Len() >= c.cfg.RQSize {
 		c.Stats.RQFullStalls++
 		return false
 	}
-	r.enqueueCycle = cycle
+	nr := *r
+	nr.enqueueCycle = cycle
 	dbgRecord(r.LineAddr, 1, cycle)
-	c.rq = append(c.rq, r)
+	c.rq.Push(nr)
 	return true
 }
 
 // EnqueueWrite attempts to add a write; returns false when the WQ is full.
 func (c *Channel) EnqueueWrite(r *Request, cycle uint64) bool {
-	if len(c.wq) >= c.cfg.WQSize {
+	if c.wq.Len() >= c.cfg.WQSize {
 		c.Stats.WQFullStalls++
 		return false
 	}
-	r.enqueueCycle = cycle
-	c.wq = append(c.wq, r)
+	nr := *r
+	nr.enqueueCycle = cycle
+	c.wq.Push(nr)
 	return true
 }
 
 // RQOccupancy returns the current read-queue length.
-func (c *Channel) RQOccupancy() int { return len(c.rq) }
+func (c *Channel) RQOccupancy() int { return c.rq.Len() }
 
 // Tick advances the channel one cycle: schedule the data bus, then issue
 // bank commands.
@@ -163,22 +195,22 @@ func (c *Channel) Tick(cycle uint64) {
 
 	// Write-drain hysteresis: start draining above the watermark, stop
 	// once the WQ is nearly empty or reads are waiting.
-	if len(c.wq)*c.cfg.WriteWatermarkDen >= c.cfg.WQSize*c.cfg.WriteWatermarkNum {
+	if c.wq.Len()*c.cfg.WriteWatermarkDen >= c.cfg.WQSize*c.cfg.WriteWatermarkNum {
 		c.draining = true
 	}
-	if len(c.wq) == 0 || (c.draining && len(c.wq) < c.cfg.WQSize/4) {
+	if c.wq.Len() == 0 || (c.draining && c.wq.Len() < c.cfg.WQSize/4) {
 		c.draining = false
 	}
 
 	// Up to two bank commands per cycle (command bus is faster than one
 	// data burst per command anyway).
 	for n := 0; n < 2; n++ {
-		serveWrites := c.draining || len(c.rq) == 0
-		if serveWrites && len(c.wq) > 0 {
+		serveWrites := c.draining || c.rq.Len() == 0
+		if serveWrites && c.wq.Len() > 0 {
 			c.issue(&c.wq, cycle, true)
 			continue
 		}
-		if len(c.rq) > 0 {
+		if c.rq.Len() > 0 {
 			c.issue(&c.rq, cycle, false)
 		}
 	}
@@ -190,8 +222,8 @@ func (c *Channel) serveBus(cycle uint64) {
 	for c.busFree <= cycle {
 		best := -1
 		bestClass := -1
-		for i := range c.transfers {
-			t := &c.transfers[i]
+		for i, n := 0, c.transfers.Len(); i < n; i++ {
+			t := c.transfers.At(i)
 			if t.eligible > cycle {
 				continue
 			}
@@ -203,15 +235,15 @@ func (c *Channel) serveBus(cycle uint64) {
 				}
 			}
 			if class > bestClass ||
-				(class == bestClass && t.eligible < c.transfers[best].eligible) {
+				(class == bestClass && t.eligible < c.transfers.At(best).eligible) {
 				best, bestClass = i, class
 			}
 		}
 		if best == -1 {
 			return
 		}
-		t := c.transfers[best]
-		c.transfers = append(c.transfers[:best], c.transfers[best+1:]...)
+		t := *c.transfers.At(best)
+		c.transfers.RemoveAt(best)
 		start := cycle
 		if c.busFree > start {
 			start = c.busFree
@@ -220,20 +252,19 @@ func (c *Channel) serveBus(cycle uint64) {
 		c.busFree = done
 		c.Stats.BusyCycles += c.cfg.BurstCycles
 		dbgRecord(t.lineAddr, 3, done)
-		if t.onDone != nil {
-			t.onDone(done)
-		}
+		complete(t.onDone, t.sink, t.token, done)
 	}
 }
 
 // issue picks the FR-FCFS best request from q and schedules it.
-func (c *Channel) issue(q *[]*Request, cycle uint64, write bool) {
+func (c *Channel) issue(q *ringbuf.Ring[Request], cycle uint64, write bool) {
 	// FR-FCFS: row hits first (open-page throughput), demand reads break
 	// ties within a class so prefetch bursts do not inflate demand
 	// latency, oldest first otherwise.
 	best := -1
 	bestScore := -1
-	for i, r := range *q {
+	for i, n := 0, q.Len(); i < n; i++ {
+		r := q.At(i)
 		b, row := c.decode(r.LineAddr)
 		bk := &c.banks[b]
 		if bk.ready > cycle {
@@ -257,8 +288,8 @@ func (c *Channel) issue(q *[]*Request, cycle uint64, write bool) {
 	if best == -1 {
 		return
 	}
-	r := (*q)[best]
-	*q = append((*q)[:best], (*q)[best+1:]...)
+	r := *q.At(best)
+	q.RemoveAt(best)
 
 	b, row := c.decode(r.LineAddr)
 	bk := &c.banks[b]
@@ -287,16 +318,18 @@ func (c *Channel) issue(q *[]*Request, cycle uint64, write bool) {
 	if write {
 		c.Stats.Writes++
 		// Posted write: occupies a future bus slot but needs no callback.
-		c.transfers = append(c.transfers, transfer{eligible: ready, write: true})
+		c.transfers.Push(transfer{eligible: ready, write: true})
 		return
 	}
 	c.Stats.Reads++
 	dbgRecord(r.LineAddr, 2, cycle)
-	c.transfers = append(c.transfers, transfer{
+	c.transfers.Push(transfer{
 		lineAddr: r.LineAddr,
 		eligible: ready,
 		prefetch: r.IsPrefetch,
 		onDone:   r.OnComplete,
+		sink:     r.Sink,
+		token:    r.Token,
 	})
 }
 
@@ -311,20 +344,20 @@ func dbgRecord(line uint64, tag, cycle uint64) {
 
 // Promote upgrades queued prefetch reads for the line to demand priority.
 func (c *Channel) Promote(lineAddr uint64) {
-	for _, r := range c.rq {
-		if r.LineAddr == lineAddr {
+	for i, n := 0, c.rq.Len(); i < n; i++ {
+		if r := c.rq.At(i); r.LineAddr == lineAddr {
 			r.IsPrefetch = false
 		}
 	}
-	for i := range c.transfers {
-		if c.transfers[i].lineAddr == lineAddr {
-			c.transfers[i].prefetch = false
+	for i, n := 0, c.transfers.Len(); i < n; i++ {
+		if t := c.transfers.At(i); t.lineAddr == lineAddr {
+			t.prefetch = false
 		}
 	}
 }
 
 // Pending reports whether any request is queued (used to drain simulations).
-func (c *Channel) Pending() bool { return len(c.rq) > 0 || len(c.wq) > 0 }
+func (c *Channel) Pending() bool { return c.rq.Len() > 0 || c.wq.Len() > 0 }
 
 // never is the quiescent horizon (sim.Never).
 const never = ^uint64(0)
@@ -335,12 +368,12 @@ const never = ^uint64(0)
 // quiescent — the write-drain flag is recomputed from queue occupancy at the
 // start of every Tick, so its stale value is unobservable across a skip.
 func (c *Channel) NextEventCycle(now uint64) uint64 {
-	if len(c.rq) == 0 && len(c.wq) == 0 && len(c.transfers) == 0 {
+	if c.rq.Len() == 0 && c.wq.Len() == 0 && c.transfers.Len() == 0 {
 		return never
 	}
 	h := never
-	for i := range c.transfers {
-		e := c.transfers[i].eligible
+	for i, n := 0, c.transfers.Len(); i < n; i++ {
+		e := c.transfers.At(i).eligible
 		if e < c.busFree {
 			e = c.busFree
 		}
@@ -355,18 +388,18 @@ func (c *Channel) NextEventCycle(now uint64) uint64 {
 	// next executed tick: it depends only on queue occupancy (stable across
 	// a skip) and is idempotent after one application.
 	draining := c.draining
-	if len(c.wq)*c.cfg.WriteWatermarkDen >= c.cfg.WQSize*c.cfg.WriteWatermarkNum {
+	if c.wq.Len()*c.cfg.WriteWatermarkDen >= c.cfg.WQSize*c.cfg.WriteWatermarkNum {
 		draining = true
 	}
-	if len(c.wq) == 0 || (draining && len(c.wq) < c.cfg.WQSize/4) {
+	if c.wq.Len() == 0 || (draining && c.wq.Len() < c.cfg.WQSize/4) {
 		draining = false
 	}
 	// While draining (with writes queued), reads are not issued; otherwise
 	// writes are only issued when no reads wait. A flip of either condition
 	// requires a queue-occupancy change, which is itself an event.
 	if !draining {
-		for _, r := range c.rq {
-			b, _ := c.decode(r.LineAddr)
+		for i, n := 0, c.rq.Len(); i < n; i++ {
+			b, _ := c.decode(c.rq.At(i).LineAddr)
 			if e := c.banks[b].ready; e <= now {
 				return now
 			} else if e < h {
@@ -374,9 +407,9 @@ func (c *Channel) NextEventCycle(now uint64) uint64 {
 			}
 		}
 	}
-	if draining || len(c.rq) == 0 {
-		for _, r := range c.wq {
-			b, _ := c.decode(r.LineAddr)
+	if draining || c.rq.Len() == 0 {
+		for i, n := 0, c.wq.Len(); i < n; i++ {
+			b, _ := c.decode(c.wq.At(i).LineAddr)
 			if e := c.banks[b].ready; e <= now {
 				return now
 			} else if e < h {

@@ -139,7 +139,7 @@ func TestPromoteUpgradesQueuedPrefetch(t *testing.T) {
 	c := NewChannel(ConfigDDR5_6400())
 	c.EnqueueRead(&Request{LineAddr: 7, IsPrefetch: true}, 0)
 	c.Promote(7)
-	if c.rq[0].IsPrefetch {
+	if c.rq.At(0).IsPrefetch {
 		t.Fatal("queued prefetch not promoted")
 	}
 }

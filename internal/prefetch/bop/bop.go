@@ -57,6 +57,7 @@ type Prefetcher struct {
 	bestOff   int64
 	bestScore int
 	active    bool
+	scratch   []cache.PrefetchReq
 }
 
 // New builds a BOP prefetcher.
@@ -67,6 +68,7 @@ func New(cfg Config) *Prefetcher {
 		scores:  make([]int, len(offsetList)),
 		bestOff: 1,
 		active:  true,
+		scratch: make([]cache.PrefetchReq, 0, 1),
 	}
 }
 
@@ -116,10 +118,12 @@ func (p *Prefetcher) OnAccess(ev cache.AccessEvent) []cache.PrefetchReq {
 	if !p.active {
 		return nil
 	}
-	return []cache.PrefetchReq{{
+	p.scratch = p.scratch[:0]
+	p.scratch = append(p.scratch, cache.PrefetchReq{
 		LineAddr:  ev.LineAddr + uint64(p.bestOff),
 		FillLevel: p.cfg.FillLevel,
-	}}
+	})
+	return p.scratch
 }
 
 // endRound selects the new best offset and resets scores.

@@ -34,12 +34,105 @@ type trainEntry struct {
 	last  uint64
 }
 
+// flatMap is an open-addressed uint64->uint64 map sized once at
+// construction: linear probing over a power-of-two table with
+// backward-shift deletion (no tombstones). The FIFO eviction in
+// insertMapping keeps occupancy at or below half the table, so probes stay
+// short, an insert always finds a slot, and — unlike the Go map it
+// replaces — the structure can never grow past the declared hardware
+// budget. Lookups on the access path touch a flat array instead of
+// hashing through runtime map internals.
+type flatMap struct {
+	keys []uint64
+	vals []uint64
+	occ  []bool
+	mask uint64
+	n    int
+}
+
+func (m *flatMap) init(capacity int) {
+	s := 8
+	for s < 2*capacity {
+		s <<= 1
+	}
+	m.keys = make([]uint64, s)
+	m.vals = make([]uint64, s)
+	m.occ = make([]bool, s)
+	m.mask = uint64(s - 1)
+	m.n = 0
+}
+
+// slot mixes the key (line and structural addresses are strided, not
+// uniform) into a table index.
+func (m *flatMap) slot(k uint64) uint64 {
+	k *= 0x9e3779b97f4a7c15
+	k ^= k >> 29
+	return k & m.mask
+}
+
+func (m *flatMap) get(k uint64) (uint64, bool) {
+	for i := m.slot(k); ; i = (i + 1) & m.mask {
+		if !m.occ[i] {
+			return 0, false
+		}
+		if m.keys[i] == k {
+			return m.vals[i], true
+		}
+	}
+}
+
+func (m *flatMap) put(k, v uint64) {
+	for i := m.slot(k); ; i = (i + 1) & m.mask {
+		if !m.occ[i] {
+			m.keys[i], m.vals[i], m.occ[i] = k, v, true
+			m.n++
+			return
+		}
+		if m.keys[i] == k {
+			m.vals[i] = v
+			return
+		}
+	}
+}
+
+func (m *flatMap) del(k uint64) {
+	i := m.slot(k)
+	for {
+		if !m.occ[i] {
+			return
+		}
+		if m.keys[i] == k {
+			break
+		}
+		i = (i + 1) & m.mask
+	}
+	// Backward-shift deletion: pull displaced entries over the hole so
+	// probe chains stay contiguous.
+	m.occ[i] = false
+	m.n--
+	j := i
+	for {
+		j = (j + 1) & m.mask
+		if !m.occ[j] {
+			return
+		}
+		home := m.slot(m.keys[j])
+		if (j-home)&m.mask >= (j-i)&m.mask {
+			m.keys[i], m.vals[i] = m.keys[j], m.vals[j]
+			m.occ[i], m.occ[j] = true, false
+			i = j
+		}
+	}
+}
+
 // Prefetcher is the MISB temporal prefetcher.
 type Prefetcher struct {
 	cfg Config
 	// ps maps physical line -> structural address; sp is the inverse.
-	ps map[uint64]uint64
-	sp map[uint64]uint64
+	// Both are fixed-size open-addressed tables: entries never exceed
+	// MappingEntries, matching the declared StorageBits budget.
+	ps flatMap
+	sp flatMap
 	// evictRing implements FIFO bounding of the metadata caches.
 	evictRing []uint64
 	evictPos  int
@@ -53,14 +146,16 @@ const streamGap = 1 << 16
 
 // New builds a MISB prefetcher.
 func New(cfg Config) *Prefetcher {
-	return &Prefetcher{
+	p := &Prefetcher{
 		cfg:       cfg,
-		ps:        make(map[uint64]uint64, cfg.MappingEntries),
-		sp:        make(map[uint64]uint64, cfg.MappingEntries),
 		evictRing: make([]uint64, cfg.MappingEntries),
 		trainer:   make([]trainEntry, cfg.TrainerEntries),
 		nextSA:    streamGap,
+		scratch:   make([]cache.PrefetchReq, 0, cfg.Degree),
 	}
+	p.ps.init(cfg.MappingEntries)
+	p.sp.init(cfg.MappingEntries)
+	return p
 }
 
 // Name implements cache.Prefetcher.
@@ -72,19 +167,21 @@ func (p *Prefetcher) StorageBits() int {
 	return p.cfg.MappingEntries*(26+26) + 17*1024*8 + p.cfg.TrainerEntries*(16+26)
 }
 
-// map insert with FIFO bounding.
+// insertMapping adds line<->sa with FIFO bounding: at capacity, the oldest
+// ring entry's mapping (if still live) is evicted from both directions
+// before the insert, so neither table ever exceeds MappingEntries.
 func (p *Prefetcher) insertMapping(line, sa uint64) {
-	if len(p.ps) >= p.cfg.MappingEntries {
+	if p.ps.n >= p.cfg.MappingEntries {
 		old := p.evictRing[p.evictPos]
-		if osa, ok := p.ps[old]; ok {
-			delete(p.ps, old)
-			delete(p.sp, osa)
+		if osa, ok := p.ps.get(old); ok {
+			p.ps.del(old)
+			p.sp.del(osa)
 		}
 	}
 	p.evictRing[p.evictPos] = line
 	p.evictPos = (p.evictPos + 1) % len(p.evictRing)
-	p.ps[line] = sa
-	p.sp[sa] = line
+	p.ps.put(line, sa)
+	p.sp.put(sa, line)
 }
 
 // OnAccess implements cache.Prefetcher: train the structural mapping from
@@ -99,18 +196,18 @@ func (p *Prefetcher) OnAccess(ev cache.AccessEvent) []cache.PrefetchReq {
 	if t.valid && t.pcTag == pcTag && t.last != ev.LineAddr {
 		prev := t.last
 		cur := ev.LineAddr
-		prevSA, prevOK := p.ps[prev]
+		prevSA, prevOK := p.ps.get(prev)
 		if !prevOK {
 			prevSA = p.nextSA
 			p.nextSA += streamGap
 			p.insertMapping(prev, prevSA)
 		}
-		if _, ok := p.ps[cur]; !ok {
+		if _, ok := p.ps.get(cur); !ok {
 			// Link cur directly after prev in structural space unless
 			// that slot is already taken. Mappings are first-come-
 			// first-serve: an established mapping is never relinked,
 			// so recurring streams stay stable across replays.
-			if _, taken := p.sp[prevSA+1]; !taken {
+			if _, taken := p.sp.get(prevSA + 1); !taken {
 				p.insertMapping(cur, prevSA+1)
 			}
 		}
@@ -118,13 +215,13 @@ func (p *Prefetcher) OnAccess(ev cache.AccessEvent) []cache.PrefetchReq {
 	*t = trainEntry{valid: true, pcTag: pcTag, last: ev.LineAddr}
 
 	// Predict: walk forward from this line's structural address.
-	sa, ok := p.ps[ev.LineAddr]
+	sa, ok := p.ps.get(ev.LineAddr)
 	if !ok {
 		return nil
 	}
 	p.scratch = p.scratch[:0]
 	for k := uint64(1); k <= uint64(p.cfg.Degree); k++ {
-		line, ok := p.sp[sa+k]
+		line, ok := p.sp.get(sa + k)
 		if !ok {
 			break
 		}

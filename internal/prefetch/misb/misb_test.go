@@ -33,9 +33,9 @@ func TestMappingsAreStableAcrossReplays(t *testing.T) {
 	p := New(DefaultConfig())
 	seq := []uint64{10, 20, 30, 40}
 	replay(p, 0x7, seq)
-	sa1 := p.ps[20]
+	sa1, _ := p.ps.get(20)
 	replay(p, 0x7, seq) // wrap-around transition (40 -> 10) must not relink
-	if p.ps[20] != sa1 {
+	if sa2, _ := p.ps.get(20); sa2 != sa1 {
 		t.Fatal("established mapping was relinked on replay")
 	}
 }
@@ -63,7 +63,7 @@ func TestMetadataBounded(t *testing.T) {
 	for i := uint64(0); i < 1000; i++ {
 		p.OnAccess(cache.AccessEvent{IP: 0x9, LineAddr: 5_000_000 + i*97, Hit: false})
 	}
-	if len(p.ps) > cfg.MappingEntries || len(p.sp) > cfg.MappingEntries {
-		t.Fatalf("metadata exceeded bound: ps=%d sp=%d", len(p.ps), len(p.sp))
+	if p.ps.n > cfg.MappingEntries || p.sp.n > cfg.MappingEntries {
+		t.Fatalf("metadata exceeded bound: ps=%d sp=%d", p.ps.n, p.sp.n)
 	}
 }

@@ -148,13 +148,16 @@ func (p *Prefetcher) OnAccess(ev cache.AccessEvent) []cache.PrefetchReq {
 	}
 
 	// Predict with the longest-history table that hits; chain for degree.
+	// The speculative history is a fixed three-deep window (newest first),
+	// shifted in place — no per-access slice allocation.
 	p.scratch = p.scratch[:0]
-	hist := make([]int64, e.nDeltas)
-	copy(hist, e.deltas[:e.nDeltas])
+	var hist [3]int64
+	nh := e.nDeltas
+	copy(hist[:], e.deltas[:e.nDeltas])
 	base := int64(ev.LineAddr)
 	for n := 0; n < p.cfg.Degree; n++ {
 		var pred *dptEntry
-		for k := min(3, len(hist)) - 1; k >= 0; k-- {
+		for k := min(3, nh) - 1; k >= 0; k-- {
 			if c := p.dptLookup(k, hist[:k+1]); c != nil && c.conf >= 2 {
 				pred = c
 				break
@@ -172,9 +175,9 @@ func (p *Prefetcher) OnAccess(ev cache.AccessEvent) []cache.PrefetchReq {
 			FillLevel: p.cfg.FillLevel,
 		})
 		// Advance the speculative history.
-		hist = append([]int64{pred.pred}, hist...)
-		if len(hist) > 3 {
-			hist = hist[:3]
+		hist[2], hist[1], hist[0] = hist[1], hist[0], pred.pred
+		if nh < 3 {
+			nh++
 		}
 	}
 	return p.scratch

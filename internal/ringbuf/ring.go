@@ -1,0 +1,100 @@
+// Package ringbuf provides a fixed-capacity circular buffer used by the
+// simulation hot path (cache queues, DRAM queues). Entries are stored by
+// value in a power-of-two backing array, so steady-state enqueue/dequeue
+// performs zero allocations and no head-shifting copies — the two costs the
+// `q = q[1:]` / `append(q[:i], q[i+1:]...)` slice idiom pays per access.
+//
+// The ring auto-grows when pushed past its capacity. Normal simulation
+// paths never trigger growth — callers enforce the architectural queue
+// bounds (RQSize, WQSize, ...) before pushing — but deliberate-damage paths
+// (the pq-orphan fault plan) overfill queues on purpose, and the ring must
+// tolerate that rather than panic.
+package ringbuf
+
+// Ring is a circular buffer of T with power-of-two capacity. The zero
+// value is unusable; call Init first.
+type Ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// Init sizes the ring for at least capacity entries (rounded up to a power
+// of two, minimum 4) and clears it.
+func (r *Ring[T]) Init(capacity int) {
+	c := 4
+	for c < capacity {
+		c <<= 1
+	}
+	r.buf = make([]T, c)
+	r.head = 0
+	r.n = 0
+}
+
+// Len returns the number of entries.
+func (r *Ring[T]) Len() int { return r.n }
+
+// At returns a pointer to the i-th entry from the front. The pointer is
+// valid until the next Push (which may grow the backing array) or removal.
+func (r *Ring[T]) At(i int) *T {
+	return &r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+// Front returns a pointer to the oldest entry.
+func (r *Ring[T]) Front() *T { return &r.buf[r.head] }
+
+// Push appends v at the back and returns a pointer to the stored entry,
+// growing the backing array when full.
+func (r *Ring[T]) Push(v T) *T {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	i := (r.head + r.n) & (len(r.buf) - 1)
+	r.buf[i] = v
+	r.n++
+	return &r.buf[i]
+}
+
+// PopFront removes the oldest entry, zeroing its slot so value types
+// holding pointers (callbacks, interfaces) do not pin garbage.
+func (r *Ring[T]) PopFront() {
+	var zero T
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+}
+
+// RemoveAt deletes the i-th entry from the front, preserving the relative
+// order of the remaining entries (identical semantics to the slice splice
+// append(q[:i], q[i+1:]...)): entries behind i shift forward one slot.
+func (r *Ring[T]) RemoveAt(i int) {
+	mask := len(r.buf) - 1
+	for j := i; j < r.n-1; j++ {
+		r.buf[(r.head+j)&mask] = r.buf[(r.head+j+1)&mask]
+	}
+	var zero T
+	r.buf[(r.head+r.n-1)&mask] = zero
+	r.n--
+}
+
+// Truncate drops the entries at positions >= k, zeroing their slots. Used
+// by single-pass queue compaction: the caller copies kept entries toward
+// the front with At and cuts the tail off here.
+func (r *Ring[T]) Truncate(k int) {
+	var zero T
+	mask := len(r.buf) - 1
+	for j := k; j < r.n; j++ {
+		r.buf[(r.head+j)&mask] = zero
+	}
+	r.n = k
+}
+
+// grow doubles the backing array, compacting entries to the front.
+func (r *Ring[T]) grow() {
+	nb := make([]T, 2*len(r.buf))
+	for i := 0; i < r.n; i++ {
+		nb[i] = *r.At(i)
+	}
+	r.buf = nb
+	r.head = 0
+}

@@ -1,0 +1,117 @@
+package ringbuf
+
+import "testing"
+
+// drain returns the ring's contents front to back.
+func drain(r *Ring[int]) []int {
+	out := make([]int, 0, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		out = append(out, *r.At(i))
+	}
+	return out
+}
+
+func eq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPushPopWrap(t *testing.T) {
+	var r Ring[int]
+	r.Init(4)
+	// Cycle through far more entries than the capacity so the head wraps.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			r.Push(round*10 + i)
+		}
+		if r.Len() != 3 {
+			t.Fatalf("round %d: len=%d want 3", round, r.Len())
+		}
+		for i := 0; i < 3; i++ {
+			if got := *r.Front(); got != round*10+i {
+				t.Fatalf("round %d: front=%d want %d", round, got, round*10+i)
+			}
+			r.PopFront()
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("len=%d want 0", r.Len())
+	}
+}
+
+func TestRemoveAtMatchesSplice(t *testing.T) {
+	// RemoveAt must preserve order exactly like append(q[:i], q[i+1:]...).
+	for removeIdx := 0; removeIdx < 5; removeIdx++ {
+		var r Ring[int]
+		r.Init(8)
+		// Offset the head so the removal crosses the wrap point.
+		for i := 0; i < 6; i++ {
+			r.Push(-1)
+			r.PopFront()
+		}
+		ref := []int{}
+		for i := 0; i < 5; i++ {
+			r.Push(i * 7)
+			ref = append(ref, i*7)
+		}
+		r.RemoveAt(removeIdx)
+		ref = append(ref[:removeIdx], ref[removeIdx+1:]...)
+		if got := drain(&r); !eq(got, ref) {
+			t.Fatalf("RemoveAt(%d): got %v want %v", removeIdx, got, ref)
+		}
+	}
+}
+
+func TestGrowPreservesOrder(t *testing.T) {
+	var r Ring[int]
+	r.Init(4)
+	// Wrap the head, then push past capacity to force growth.
+	r.Push(0)
+	r.Push(0)
+	r.PopFront()
+	r.PopFront()
+	want := []int{}
+	for i := 0; i < 37; i++ {
+		r.Push(i)
+		want = append(want, i)
+	}
+	if got := drain(&r); !eq(got, want) {
+		t.Fatalf("after grow: got %v want %v", got, want)
+	}
+}
+
+func TestInitRoundsUp(t *testing.T) {
+	var r Ring[int]
+	r.Init(0)
+	if len(r.buf) != 4 {
+		t.Fatalf("Init(0): cap=%d want 4", len(r.buf))
+	}
+	r.Init(33)
+	if len(r.buf) != 64 {
+		t.Fatalf("Init(33): cap=%d want 64", len(r.buf))
+	}
+}
+
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	var r Ring[int]
+	r.Init(16)
+	avg := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 16; i++ {
+			r.Push(i)
+		}
+		r.RemoveAt(7)
+		for r.Len() > 0 {
+			r.PopFront()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state allocs/op = %v, want 0", avg)
+	}
+}

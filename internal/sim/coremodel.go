@@ -25,6 +25,7 @@ type robEntry struct {
 	dep    uint64 // producer record index + 1 (0 = independent)
 
 	issued    bool
+	issuedAt  uint64 // issue cycle (load-latency bucketing on completion)
 	done      bool
 	doneCycle uint64
 }
@@ -32,6 +33,12 @@ type robEntry struct {
 // depWindow tracks completion cycles of recent memory records so dependent
 // accesses (pointer chases) serialize behind their producers.
 const depWindow = 1024
+
+// storeTokenBit distinguishes store completion tokens from load tokens.
+// Loads complete before their ROB slot can be reused, so the slot index is
+// the token; stores retire immediately and their slot may be recycled
+// before the fill lands, so the token carries the record index instead.
+const storeTokenBit = uint64(1) << 63
 
 // Core is the trace-driven out-of-order core approximation: a 352-entry
 // instruction window filled at issue-width, memory operations issued
@@ -48,10 +55,12 @@ type Core struct {
 	robTail   int
 	robCount  int // entries
 	robInstrs int // instructions occupying the window
-	// issueSkip counts entries from the head known to contain no
-	// unissued memory operation, so the per-cycle issue scan can start
-	// past them (the scan dominates simulation time otherwise).
-	issueSkip int
+	// pend lists the ROB slots of unissued memory operations in program
+	// order, so the per-cycle issue scan touches exactly the entries that
+	// can issue instead of walking the window (the walk dominated
+	// simulation time). Slots are stable while listed: an unissued memory
+	// entry cannot retire, and nothing ahead of it can pop past it.
+	pend []int32
 
 	// pending is the next trace record being dispatched (nonMem first).
 	pending       trace.Record
@@ -94,6 +103,9 @@ func NewCore(id int, cfg CoreConfig, rd trace.Reader, mmu *vm.MMU, l1d *cache.Ca
 		mmu:    mmu,
 		l1d:    l1d,
 		rob:    make([]robEntry, cfg.ROBSize+1),
+		// Memory entries occupy one instruction each, so the unissued set
+		// can never exceed the window: appends never reallocate.
+		pend: make([]int32, 0, cfg.ROBSize+1),
 	}
 }
 
@@ -143,22 +155,18 @@ func (c *Core) NextEventCycle(now uint64) uint64 {
 	if c.pendingValid && c.robInstrs < c.cfg.ROBSize {
 		return now
 	}
-	// Issue: scan for unissued memory operations. A producer still in
-	// flight (depReady unset) is the cache's event; a completed producer
-	// with a future completion cycle schedules the consumer's issue.
-	i := (c.robHead + c.issueSkip) % len(c.rob)
-	for n := c.issueSkip; n < c.robCount; n++ {
-		e := &c.rob[i]
-		i = (i + 1) % len(c.rob)
-		if !e.isMem || e.issued {
-			continue
-		}
+	// Issue: every pend entry is an unissued memory operation. A producer
+	// still in flight (depReady unset) is the cache's event; a completed
+	// producer with a future completion cycle schedules the consumer's
+	// issue.
+	for _, slot := range c.pend {
+		e := &c.rob[slot]
 		if e.dep != 0 {
-			slot := (e.dep - 1) % depWindow
-			if !c.depReady[slot] {
+			s := (e.dep - 1) % depWindow
+			if !c.depReady[s] {
 				continue
 			}
-			if d := c.depDone[slot]; d > now {
+			if d := c.depDone[s]; d > now {
 				if d < h {
 					h = d
 				}
@@ -191,8 +199,9 @@ func (c *Core) Done() bool {
 func (c *Core) Err() error { return c.err }
 
 // CheckInvariants verifies the reorder buffer's accounting: the occupancy
-// counters must agree with the entries actually present in the ring, and
-// the aggregated instruction count must match a fresh walk. It never
+// counters must agree with the entries actually present in the ring, the
+// aggregated instruction count must match a fresh walk, and the pending
+// issue list must name exactly the unissued memory entries. It never
 // mutates state.
 func (c *Core) CheckInvariants(name string, cycle uint64, report func(check.Violation)) {
 	if c.robCount < 0 || c.robCount >= len(c.rob) {
@@ -201,18 +210,30 @@ func (c *Core) CheckInvariants(name string, cycle uint64, report func(check.Viol
 		return
 	}
 	instrs := 0
+	unissued := 0
 	i := c.robHead
 	for n := 0; n < c.robCount; n++ {
 		instrs += c.entryInstrs(&c.rob[i])
+		if c.rob[i].isMem && !c.rob[i].issued {
+			unissued++
+		}
 		i = (i + 1) % len(c.rob)
 	}
 	if instrs != c.robInstrs {
 		report(check.Violation{Rule: check.RuleROBAccounting, Component: name, Cycle: cycle,
 			Detail: fmt.Sprintf("robInstrs counter %d, ring walk says %d", c.robInstrs, instrs)})
 	}
-	if c.issueSkip > c.robCount {
+	if unissued != len(c.pend) {
 		report(check.Violation{Rule: check.RuleROBAccounting, Component: name, Cycle: cycle,
-			Detail: fmt.Sprintf("issueSkip %d exceeds occupancy %d", c.issueSkip, c.robCount)})
+			Detail: fmt.Sprintf("pend list holds %d slots, ring walk finds %d unissued memory ops", len(c.pend), unissued)})
+	}
+	for _, slot := range c.pend {
+		e := &c.rob[slot]
+		if !e.isMem || e.issued {
+			report(check.Violation{Rule: check.RuleROBAccounting, Component: name, Cycle: cycle,
+				Detail: fmt.Sprintf("pend slot %d does not hold an unissued memory op", slot)})
+			break
+		}
 	}
 }
 
@@ -259,9 +280,6 @@ func (c *Core) popHead() {
 	c.rob[c.robHead] = robEntry{}
 	c.robHead = (c.robHead + 1) % len(c.rob)
 	c.robCount--
-	if c.issueSkip > 0 {
-		c.issueSkip--
-	}
 }
 
 func (c *Core) entryInstrs(e *robEntry) int {
@@ -331,7 +349,9 @@ func (c *Core) dispatch(cycle uint64) {
 			recIdx: idx,
 			dep:    dep,
 		}
+		slot := c.robTail
 		c.pushEntry(e)
+		c.pend = append(c.pend, int32(slot))
 		budget--
 		c.pendingValid = false
 		if c.pending.Kind == trace.Load {
@@ -368,38 +388,46 @@ func (c *Core) pushEntry(e robEntry) {
 }
 
 // issue sends ready memory operations to the L1D through limited ports.
+// The pend list is filtered in place: issued entries drop out, blocked
+// entries stay in program order.
 func (c *Core) issue(cycle uint64) {
 	loads := c.cfg.LoadPorts
 	stores := c.cfg.StorePorts
-	i := (c.robHead + c.issueSkip) % len(c.rob)
-	advancing := true
-	for n := c.issueSkip; n < c.robCount && (loads > 0 || stores > 0); n++ {
-		e := &c.rob[i]
-		i = (i + 1) % len(c.rob)
-		if !e.isMem || e.issued {
-			if advancing {
-				c.issueSkip++
-			}
-			continue
+	w := 0
+	n := 0
+	for ; n < len(c.pend); n++ {
+		if loads == 0 && stores == 0 {
+			break
 		}
-		advancing = false
+		slot := c.pend[n]
+		e := &c.rob[slot]
 		if e.kind == trace.Load && loads == 0 {
+			c.pend[w] = slot
+			w++
 			continue
 		}
 		if e.kind == trace.Store && stores == 0 {
+			c.pend[w] = slot
+			w++
 			continue
 		}
 		// Dependence check: producer must have completed.
 		if e.dep != 0 {
-			slot := (e.dep - 1) % depWindow
-			if !c.depReady[slot] || c.depDone[slot] > cycle {
+			s := (e.dep - 1) % depWindow
+			if !c.depReady[s] || c.depDone[s] > cycle {
 				c.DepBlocked++
+				c.pend[w] = slot
+				w++
 				continue
 			}
 		}
-		if !c.tryIssue(e, cycle) {
-			// L1D RQ full: stop issuing this cycle.
-			return
+		if !c.tryIssue(e, slot, cycle) {
+			// L1D RQ full: stop issuing this cycle; keep this entry and
+			// everything behind it.
+			c.pend[w] = slot
+			w++
+			n++
+			break
 		}
 		if e.kind == trace.Load {
 			loads--
@@ -407,55 +435,71 @@ func (c *Core) issue(cycle uint64) {
 			stores--
 		}
 	}
+	for ; n < len(c.pend); n++ {
+		c.pend[w] = c.pend[n]
+		w++
+	}
+	c.pend = c.pend[:w]
 }
 
-// tryIssue translates and sends one memory op to the L1D.
-func (c *Core) tryIssue(e *robEntry, cycle uint64) bool {
+// tryIssue translates and sends one memory op to the L1D. Completion comes
+// back through ReqDone with a token instead of a per-request closure, so
+// issuing allocates nothing.
+func (c *Core) tryIssue(e *robEntry, slot int32, cycle uint64) bool {
 	if c.l1d.RQOccupancy() >= c.l1d.RQCap() {
 		c.IssueBlocked++
 		return false
 	}
 	paddr, xlat := c.mmu.TranslateDemand(e.vaddr, cycle)
-	recIdx := e.recIdx
-	req := &cache.Req{
+	req := cache.Req{
 		LineAddr:  paddr >> cache.LineShift,
 		VLineAddr: e.vaddr >> cache.LineShift,
 		IP:        e.ip,
 		FillLevel: cache.L1D,
 		Store:     e.kind == trace.Store,
-	}
-	entry := e
-	issuedAt := cycle
-	req.OnDone = func(done uint64) {
-		entry.done = true
-		entry.doneCycle = done
-		slot := recIdx % depWindow
-		c.depDone[slot] = done
-		c.depReady[slot] = true
-		d := done - issuedAt
-		b := 0
-		for d > 0 && b < len(c.LoadLatHist)-1 {
-			d >>= 1
-			b++
-		}
-		c.LoadLatHist[b]++
+		Sink:      c,
+		Token:     uint64(slot),
 	}
 	if e.kind == trace.Store {
 		// Stores retire without waiting for the fill; the L1D handles
-		// write-allocation in the background.
+		// write-allocation in the background. The slot may be recycled
+		// before the fill lands, so the token names the record instead.
 		e.done = true
 		e.doneCycle = cycle + 1
-		req.OnDone = func(done uint64) {
-			slot := recIdx % depWindow
-			c.depDone[slot] = done
-			c.depReady[slot] = true
-		}
+		req.Token = storeTokenBit | e.recIdx
 	}
-	if !c.l1d.AcceptDemand(req, cycle+xlat) {
+	if !c.l1d.AcceptDemand(&req, cycle+xlat) {
 		return false
 	}
 	e.issued = true
+	e.issuedAt = cycle
 	return true
+}
+
+// ReqDone implements cache.DoneSink: L1D completions arrive here keyed by
+// the token tryIssue encoded.
+func (c *Core) ReqDone(token, done uint64) {
+	if token&storeTokenBit != 0 {
+		// Store fill: the ROB entry is long retired; only the dependence
+		// window needs the completion.
+		s := (token &^ storeTokenBit) % depWindow
+		c.depDone[s] = done
+		c.depReady[s] = true
+		return
+	}
+	e := &c.rob[token]
+	e.done = true
+	e.doneCycle = done
+	s := e.recIdx % depWindow
+	c.depDone[s] = done
+	c.depReady[s] = true
+	d := done - e.issuedAt
+	b := 0
+	for d > 0 && b < len(c.LoadLatHist)-1 {
+		d >>= 1
+		b++
+	}
+	c.LoadLatHist[b]++
 }
 
 // ResetStats clears measured counters (after warmup).

@@ -22,19 +22,25 @@ type dramAdaptor struct {
 }
 
 func (d *dramAdaptor) AcceptRead(r *cache.Req, cycle uint64) bool {
-	onDone := r.OnDone
-	return d.ch.EnqueueRead(&dram.Request{
+	// cache.DoneSink and dram.DoneSink are structurally identical, so the
+	// sink passes straight through; the Request is stack-built and copied
+	// into the channel's ring — no allocation.
+	req := dram.Request{
 		LineAddr:   r.LineAddr,
 		IsPrefetch: r.IsPrefetch,
-		OnComplete: onDone,
-	}, cycle)
+		OnComplete: r.OnDone,
+		Sink:       r.Sink,
+		Token:      r.Token,
+	}
+	return d.ch.EnqueueRead(&req, cycle)
 }
 
 func (d *dramAdaptor) AcceptWrite(r *cache.Req, cycle uint64) bool {
-	return d.ch.EnqueueWrite(&dram.Request{
+	req := dram.Request{
 		LineAddr: r.LineAddr,
 		Write:    true,
-	}, cycle)
+	}
+	return d.ch.EnqueueWrite(&req, cycle)
 }
 
 // Promote implements cache.Lower.
@@ -120,12 +126,10 @@ type Machine struct {
 	dramC *dram.Channel
 	cycle uint64
 
-	// sched selects the main-loop strategy (SchedHorizon by default);
-	// clocked lists every component for horizon queries, ordered so the
-	// cheapest likely-busy components are asked first (the scan early-exits
-	// on the first "next cycle" answer).
-	sched   Scheduler
-	clocked []Clocked
+	// sched selects the main-loop strategy (SchedHorizon by default).
+	// horizon() queries the component slices directly through their
+	// concrete types — see scheduler.go.
+	sched Scheduler
 
 	// Observability (nil = disabled; the per-tick cost of the disabled
 	// path is a single bool check in runUntil).
@@ -229,16 +233,6 @@ func New(cfg Config, traces []trace.Reader, l1dPf, l2Pf PrefetcherFactory) (*Mac
 		m.l1ds = append(m.l1ds, l1)
 		m.l2s = append(m.l2s, l2)
 		m.cores = append(m.cores, core)
-	}
-	for i := range m.l1ds {
-		m.clocked = append(m.clocked, m.l1ds[i])
-	}
-	for i := range m.l2s {
-		m.clocked = append(m.clocked, m.l2s[i])
-	}
-	m.clocked = append(m.clocked, m.llc, m.dramC)
-	for i := range m.cores {
-		m.clocked = append(m.clocked, m.cores[i])
 	}
 	return m, nil
 }

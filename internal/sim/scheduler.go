@@ -80,12 +80,45 @@ var (
 
 // horizon returns the minimum NextEventCycle across all components, early-
 // exiting as soon as any component reports the next cycle (no skip possible).
+// Components are queried through their concrete types — NextEventCycle is
+// side-effect-free and min is order-independent, so devirtualizing the scan
+// (it runs after every executed tick) changes nothing but its cost. Cheap
+// likely-busy components are asked first to make the early exit pay.
 func (m *Machine) horizon() uint64 {
 	h := Never
-	for _, c := range m.clocked {
-		if e := c.NextEventCycle(m.cycle); e < h {
-			if e <= m.cycle {
-				return m.cycle
+	now := m.cycle
+	for _, c := range m.l1ds {
+		if e := c.NextEventCycle(now); e < h {
+			if e <= now {
+				return now
+			}
+			h = e
+		}
+	}
+	for _, c := range m.l2s {
+		if e := c.NextEventCycle(now); e < h {
+			if e <= now {
+				return now
+			}
+			h = e
+		}
+	}
+	if e := m.llc.NextEventCycle(now); e < h {
+		if e <= now {
+			return now
+		}
+		h = e
+	}
+	if e := m.dramC.NextEventCycle(now); e < h {
+		if e <= now {
+			return now
+		}
+		h = e
+	}
+	for _, c := range m.cores {
+		if e := c.NextEventCycle(now); e < h {
+			if e <= now {
+				return now
 			}
 			h = e
 		}
