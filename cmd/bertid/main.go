@@ -17,6 +17,13 @@
 // restart and finishes with a report byte-identical to an uninterrupted
 // run. Live metrics (/metrics, /debug/vars) share the API listener.
 //
+// With -lease-only the daemon becomes a pure coordinator: specs are
+// handed out in leased batches over POST /api/v1/leases to bertiworker
+// processes, which heartbeat and push results back; a lease whose worker
+// dies or partitions expires after -lease-ttl and its specs are
+// reassigned, with duplicate late results deduped — the final report is
+// byte-identical to a solo local run.
+//
 // The first SIGINT/SIGTERM drains gracefully: new submissions get 503,
 // in-flight simulations stop cooperatively at the engine's next poll
 // stride, journals are already flushed per append, and the process exits
@@ -56,6 +63,12 @@ func main() {
 	runTimeout := flag.Duration("run-timeout", 0, "per-run wall-clock budget (0 = 10m default, negative disables)")
 	provFlag := flag.Bool("provenance", false, "track per-prefetch lifecycle provenance on every run")
 	provCap := flag.Int("provenance-cap", 0, "per-run provenance record-pool capacity (0 = default 65536)")
+	leaseOnly := flag.Bool("lease-only", false, "coordinator mode: hand specs to bertiworker processes via the lease endpoints instead of running them locally")
+	leaseTTL := flag.Duration("lease-ttl", server.DefaultLeaseTTL, "lease lifetime without a heartbeat before specs are reassigned")
+	leaseHB := flag.Duration("lease-heartbeat", 0, "heartbeat cadence suggested to workers and the expiry scan period (0 = lease-ttl/4)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "HTTP header read deadline (slowloris guard; 0 disables)")
+	readTimeout := flag.Duration("read-timeout", time.Minute, "HTTP full-request read deadline (0 disables)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle deadline (0 disables)")
 	flag.Parse()
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("bertid: ")
@@ -84,7 +97,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bertid:", err)
 		os.Exit(1)
 	}
-	s, err := server.New(server.Options{Harness: h, DataDir: *dataDir, Shards: *shards})
+	s, err := server.New(server.Options{
+		Harness:           h,
+		DataDir:           *dataDir,
+		Shards:            *shards,
+		LeaseOnly:         *leaseOnly,
+		LeaseTTL:          *leaseTTL,
+		HeartbeatInterval: *leaseHB,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bertid:", err)
 		os.Exit(1)
@@ -96,8 +116,20 @@ func main() {
 		rollup.Attach(h)
 		s.Live().SetAttribution(func() any { return rollup.Report() })
 	}
-	httpServer := &http.Server{Handler: s.Handler()}
-	log.Printf("listening on http://%s (scale=%s, data=%s)", ln.Addr(), h.Scale.Name, *dataDir)
+	// WriteTimeout stays 0 on purpose: the SSE progress streams are
+	// long-lived responses. The read and idle deadlines are what close a
+	// slowloris connection.
+	httpServer := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+	mode := "local execution"
+	if *leaseOnly {
+		mode = "lease-only coordinator"
+	}
+	log.Printf("listening on http://%s (scale=%s, data=%s, %s)", ln.Addr(), h.Scale.Name, *dataDir, mode)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpServer.Serve(ln) }()

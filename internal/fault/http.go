@@ -1,0 +1,241 @@
+package fault
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// NetPlan describes deterministic network-fault injection for the
+// distributed worker protocol: an http.RoundTripper decorator that drops,
+// delays, duplicates, or severs requests per-opportunity. Like Plan, every
+// decision derives from a splitmix64 stream seeded by Seed, so a given
+// plan injures the same request opportunities on every run — worker-loss
+// and partition scenarios become reproducible tests instead of production
+// folklore.
+type NetPlan struct {
+	// Seed drives the deterministic decision stream.
+	Seed int64
+	// DropRate is the per-request probability of losing the exchange: half
+	// the injected drops fail before the request is sent (a connect
+	// failure), half after (the request reached the server but the response
+	// was lost — the case idempotent endpoints exist for).
+	DropRate float64
+	// DelayRate / Delay inject latency: each hit sleeps Delay (default
+	// 10ms) before the request goes out.
+	DelayRate float64
+	Delay     time.Duration
+	// DupRate duplicates the request: the duplicate is sent (and its
+	// response discarded) before the real exchange, so the server sees the
+	// same message twice — the dedup paths must make that invisible.
+	// Requests without a rewindable body (GetBody) are never duplicated.
+	DupRate float64
+	// SeverAfter/SeverFor model a network partition: request opportunities
+	// [SeverAfter, SeverAfter+SeverFor) all fail outright. SeverAfter 0
+	// disables (use Drop for random loss).
+	SeverAfter uint64
+	SeverFor   uint64
+}
+
+// DefaultNetDelay is the injected latency when Delay is zero.
+const DefaultNetDelay = 10 * time.Millisecond
+
+// ParseNet builds a NetPlan from the CLI syntax
+//
+//	key=value[,key=value...]
+//
+// e.g. "drop=0.05,delay=0.2,delayms=25,dup=0.1,seed=7". Keys: seed, drop,
+// delay, delayms, dup, sever-after, sever-for.
+func ParseNet(s string) (*NetPlan, error) {
+	if s == "" {
+		return nil, &PlanError{Spec: s, Reason: "empty net plan"}
+	}
+	p := &NetPlan{}
+	for _, kv := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, &PlanError{Spec: s, Reason: fmt.Sprintf("malformed option %q (want key=value)", kv)}
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "drop":
+			p.DropRate, err = parseRate(val)
+		case "delay":
+			p.DelayRate, err = parseRate(val)
+		case "delayms":
+			var ms int64
+			ms, err = strconv.ParseInt(val, 10, 64)
+			p.Delay = time.Duration(ms) * time.Millisecond
+		case "dup":
+			p.DupRate, err = parseRate(val)
+		case "sever-after":
+			p.SeverAfter, err = strconv.ParseUint(val, 10, 64)
+		case "sever-for":
+			p.SeverFor, err = strconv.ParseUint(val, 10, 64)
+		default:
+			err = fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return nil, &PlanError{Spec: s, Reason: err.Error()}
+		}
+	}
+	return p, nil
+}
+
+func parseRate(val string) (float64, error) {
+	r, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if r < 0 || r > 1 {
+		return 0, fmt.Errorf("rate %v outside [0,1]", r)
+	}
+	return r, nil
+}
+
+// String renders the plan in the ParseNet syntax.
+func (p *NetPlan) String() string {
+	return fmt.Sprintf("drop=%g,delay=%g,delayms=%d,dup=%g,seed=%d,sever-after=%d,sever-for=%d",
+		p.DropRate, p.DelayRate, p.Delay.Milliseconds(), p.DupRate, p.Seed, p.SeverAfter, p.SeverFor)
+}
+
+// Transport wraps base (http.DefaultTransport when nil) with the plan's
+// injections. Each NetInjector owns its own opportunity counter, so two
+// clients sharing a plan value fault independently.
+func (p *NetPlan) Transport(base http.RoundTripper) *NetInjector {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &NetInjector{base: base, plan: *p}
+}
+
+// NetError is the injected transport failure. It unwraps to nothing — the
+// retry layer must classify it by type/transport position, exactly as it
+// would a real connection error.
+type NetError struct {
+	// Op says what was injected ("drop", "drop-response", "sever").
+	Op string
+	// Opportunity is the request counter value the decision hashed.
+	Opportunity uint64
+}
+
+// Error implements error.
+func (e *NetError) Error() string {
+	return fmt.Sprintf("fault: injected network %s (opportunity %d)", e.Op, e.Opportunity)
+}
+
+// Timeout implements net.Error-style classification: injected faults are
+// transient by construction.
+func (e *NetError) Timeout() bool { return true }
+
+// Temporary implements the legacy net.Error method.
+func (e *NetError) Temporary() bool { return true }
+
+// NetInjector is the fault-injecting RoundTripper. Safe for concurrent
+// use; the opportunity counter is atomic (note that under concurrency the
+// assignment of opportunities to specific requests depends on scheduling —
+// the *decisions per opportunity* are what stay deterministic).
+type NetInjector struct {
+	base http.RoundTripper
+	plan NetPlan
+	n    atomic.Uint64
+
+	// Injection counters (test observability).
+	Dropped    atomic.Uint64
+	Delayed    atomic.Uint64
+	Duplicated atomic.Uint64
+	Severed    atomic.Uint64
+}
+
+// Decision-stream salts: each fault class hashes a disjoint stream so e.g.
+// raising the drop rate never shifts which opportunities get delayed.
+const (
+	saltDrop = iota + 1
+	saltDropSide
+	saltDelay
+	saltDup
+)
+
+func (t *NetInjector) hit(salt uint64, n uint64, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	h := splitmix64(uint64(t.plan.Seed)*0x9E3779B97F4A7C15 + salt*0xD1B54A32D192ED03 + n)
+	return float64(h>>11)/(1<<53) < rate
+}
+
+// RoundTrip implements http.RoundTripper with the plan's faults applied.
+func (t *NetInjector) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := t.n.Add(1) - 1
+	if t.plan.SeverAfter > 0 && n >= t.plan.SeverAfter && n < t.plan.SeverAfter+t.plan.SeverFor {
+		t.Severed.Add(1)
+		return nil, &NetError{Op: "sever", Opportunity: n}
+	}
+	if t.hit(saltDrop, n, t.plan.DropRate) {
+		t.Dropped.Add(1)
+		if t.hit(saltDropSide, n, 0.5) || req.GetBody == nil {
+			// Lost before it was sent: the server never sees it.
+			return nil, &NetError{Op: "drop", Opportunity: n}
+		}
+		// Sent, but the response is lost: the server's side effects happen,
+		// the client sees a failure — the retry will be a duplicate.
+		if resp, err := t.send(req); err == nil {
+			resp.Body.Close()
+		}
+		return nil, &NetError{Op: "drop-response", Opportunity: n}
+	}
+	if t.hit(saltDelay, n, t.plan.DelayRate) {
+		t.Delayed.Add(1)
+		d := t.plan.Delay
+		if d <= 0 {
+			d = DefaultNetDelay
+		}
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if req.GetBody != nil && t.hit(saltDup, n, t.plan.DupRate) {
+		t.Duplicated.Add(1)
+		if resp, err := t.send(req); err == nil {
+			resp.Body.Close()
+		}
+		// Fall through to the real exchange regardless: the duplicate is
+		// extra noise, not a replacement.
+	}
+	return t.base.RoundTrip(req)
+}
+
+// send re-issues req on the base transport with a rewound body.
+func (t *NetInjector) send(req *http.Request) (*http.Response, error) {
+	clone := req.Clone(req.Context())
+	if req.GetBody != nil {
+		body, err := req.GetBody()
+		if err != nil {
+			return nil, err
+		}
+		clone.Body = body
+	}
+	resp, err := t.base.RoundTrip(clone)
+	if err != nil {
+		return nil, err
+	}
+	// The original request's body was consumed by nobody yet — but the
+	// base transport may have read clone's; rewind the original so the
+	// real exchange (or a later retry) sends full bytes.
+	if req.GetBody != nil {
+		if body, berr := req.GetBody(); berr == nil {
+			req.Body = body
+		}
+	}
+	return resp, err
+}

@@ -1,0 +1,196 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingBase is a stub transport recording how many exchanges actually
+// reach "the network".
+type countingBase struct {
+	calls atomic.Int64
+}
+
+func (b *countingBase) RoundTrip(req *http.Request) (*http.Response, error) {
+	b.calls.Add(1)
+	if req.Body != nil {
+		io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader("{}")),
+		Header:     http.Header{},
+		Request:    req,
+	}, nil
+}
+
+func postReq(t *testing.T) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, "http://coordinator/api/v1/leases", bytes.NewReader([]byte(`{"worker":"w"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestParseNet(t *testing.T) {
+	p, err := ParseNet("drop=0.1,delay=0.2,delayms=25,dup=0.3,seed=7,sever-after=40,sever-for=20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NetPlan{Seed: 7, DropRate: 0.1, DelayRate: 0.2, Delay: 25 * time.Millisecond, DupRate: 0.3, SeverAfter: 40, SeverFor: 20}
+	if *p != want {
+		t.Fatalf("parsed %+v, want %+v", *p, want)
+	}
+	if got := p.String(); !strings.Contains(got, "drop=0.1") || !strings.Contains(got, "seed=7") {
+		t.Fatalf("String() = %q", got)
+	}
+	for _, bad := range []string{"", "drop", "drop=2", "drop=-0.1", "bogus=1", "delayms=x"} {
+		if _, err := ParseNet(bad); err == nil {
+			t.Fatalf("ParseNet(%q) accepted", bad)
+		}
+		var pe *PlanError
+		if _, err := ParseNet(bad); !errors.As(err, &pe) {
+			t.Fatalf("ParseNet(%q) error not a *PlanError: %v", bad, err)
+		}
+	}
+}
+
+// TestNetInjectorDeterministic pins the seeded decision stream: two
+// injectors built from the same plan fail the exact same opportunities,
+// and a different seed fails different ones.
+func TestNetInjectorDeterministic(t *testing.T) {
+	plan := &NetPlan{Seed: 11, DropRate: 0.3}
+	pattern := func(p *NetPlan) string {
+		inj := p.Transport(&countingBase{})
+		var b strings.Builder
+		for i := 0; i < 200; i++ {
+			resp, err := inj.RoundTrip(postReq(t))
+			if err != nil {
+				b.WriteByte('x')
+				continue
+			}
+			resp.Body.Close()
+			b.WriteByte('.')
+		}
+		return b.String()
+	}
+	p1, p2 := pattern(plan), pattern(plan)
+	if p1 != p2 {
+		t.Fatal("same plan, different fault pattern")
+	}
+	if !strings.Contains(p1, "x") || !strings.Contains(p1, ".") {
+		t.Fatalf("rate 0.3 over 200 requests produced a degenerate pattern %q", p1[:20])
+	}
+	if p3 := pattern(&NetPlan{Seed: 12, DropRate: 0.3}); p3 == p1 {
+		t.Fatal("different seeds produced identical fault patterns")
+	}
+}
+
+func TestNetInjectorSever(t *testing.T) {
+	base := &countingBase{}
+	inj := (&NetPlan{SeverAfter: 2, SeverFor: 3}).Transport(base)
+	var failed []int
+	for i := 0; i < 8; i++ {
+		resp, err := inj.RoundTrip(postReq(t))
+		if err != nil {
+			var ne *NetError
+			if !errors.As(err, &ne) || ne.Op != "sever" {
+				t.Fatalf("request %d: %v, want injected sever", i, err)
+			}
+			failed = append(failed, i)
+			continue
+		}
+		resp.Body.Close()
+	}
+	if len(failed) != 3 || failed[0] != 2 || failed[2] != 4 {
+		t.Fatalf("severed opportunities %v, want [2 3 4]", failed)
+	}
+	if inj.Severed.Load() != 3 {
+		t.Fatalf("Severed=%d, want 3", inj.Severed.Load())
+	}
+	if base.calls.Load() != 5 {
+		t.Fatalf("base saw %d exchanges, want 5 (8 minus the partition window)", base.calls.Load())
+	}
+}
+
+// TestNetInjectorDuplicate: at dup=1 every request with a rewindable body
+// reaches the server twice, yet the caller sees exactly one success — the
+// shape the coordinator's dedup layer must absorb.
+func TestNetInjectorDuplicate(t *testing.T) {
+	base := &countingBase{}
+	inj := (&NetPlan{DupRate: 1}).Transport(base)
+	for i := 0; i < 5; i++ {
+		resp, err := inj.RoundTrip(postReq(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if base.calls.Load() != 10 {
+		t.Fatalf("base saw %d exchanges for 5 dup=1 requests, want 10", base.calls.Load())
+	}
+	if inj.Duplicated.Load() != 5 {
+		t.Fatalf("Duplicated=%d, want 5", inj.Duplicated.Load())
+	}
+}
+
+// TestNetInjectorDropSides: at drop=1 every request fails from the
+// caller's view, but roughly half were actually delivered (response
+// lost) — the counting base proves both sides of the drop exist.
+func TestNetInjectorDropSides(t *testing.T) {
+	base := &countingBase{}
+	inj := (&NetPlan{Seed: 3, DropRate: 1}).Transport(base)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if _, err := inj.RoundTrip(postReq(t)); err == nil {
+			t.Fatalf("request %d survived drop=1", i)
+		}
+	}
+	if inj.Dropped.Load() != n {
+		t.Fatalf("Dropped=%d, want %d", inj.Dropped.Load(), n)
+	}
+	delivered := base.calls.Load()
+	if delivered == 0 || delivered == n {
+		t.Fatalf("%d of %d dropped requests delivered; want a mix of lost-request and lost-response", delivered, n)
+	}
+}
+
+func TestNetInjectorDelay(t *testing.T) {
+	base := &countingBase{}
+	inj := (&NetPlan{DelayRate: 1, Delay: time.Millisecond}).Transport(base)
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		resp, err := inj.RoundTrip(postReq(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if inj.Delayed.Load() != 5 {
+		t.Fatalf("Delayed=%d, want 5", inj.Delayed.Load())
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("5 delayed requests took %v, want >= 5ms", elapsed)
+	}
+}
+
+// TestNetErrorClassifiesTransient: injected failures present as
+// timeout-style net errors so generic retry layers treat them as
+// transient, exactly like a real connection fault.
+func TestNetErrorClassifiesTransient(t *testing.T) {
+	e := &NetError{Op: "drop", Opportunity: 3}
+	if !e.Timeout() || !e.Temporary() {
+		t.Fatal("NetError must classify as transient")
+	}
+	if !strings.Contains(e.Error(), "drop") || !strings.Contains(e.Error(), "3") {
+		t.Fatalf("error text %q", e.Error())
+	}
+}

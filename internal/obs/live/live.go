@@ -54,11 +54,20 @@ type Server struct {
 	failed    atomic.Uint64
 	rowsSeen  atomic.Uint64
 
+	// Fleet counters (distributed worker protocol).
+	remoteResults  atomic.Uint64
+	leasesGranted  atomic.Uint64
+	leasesExpired  atomic.Uint64
+	reassigned     atomic.Uint64
+	dupResults     atomic.Uint64
+	unknownResults atomic.Uint64
+
 	mu     sync.Mutex
 	recent []obs.Row
 	next   int
 	wrap   bool
 	attrib func() any
+	fleet  func() FleetGauges
 }
 
 // NewServer builds a listener-less metrics server for embedding: call
@@ -131,6 +140,58 @@ func (s *Server) RunFailed() {
 	bertiVars().Add("runs_failed", 1)
 }
 
+// RemoteResult records one result pushed by a distributed worker (as
+// opposed to executed by the local pool).
+func (s *Server) RemoteResult() {
+	s.remoteResults.Add(1)
+	bertiVars().Add("remote_results", 1)
+}
+
+// LeaseGranted records one lease handed to a worker.
+func (s *Server) LeaseGranted() {
+	s.leasesGranted.Add(1)
+	bertiVars().Add("leases_granted", 1)
+}
+
+// LeaseExpired records one lease whose deadline passed without completion
+// (worker crashed, partitioned, or too slow).
+func (s *Server) LeaseExpired() {
+	s.leasesExpired.Add(1)
+	bertiVars().Add("leases_expired", 1)
+}
+
+// SpecsReassigned records n specs returned to the pending queue by lease
+// expiry — each will be leased again to a live worker.
+func (s *Server) SpecsReassigned(n int) {
+	s.reassigned.Add(uint64(n))
+	bertiVars().Add("specs_reassigned", int64(n))
+}
+
+// DuplicateResult records one result for a spec that had already
+// completed (late push from a reassigned lease, or a duplicated request):
+// accepted on the wire, deduped in accounting.
+func (s *Server) DuplicateResult() {
+	s.dupResults.Add(1)
+	bertiVars().Add("duplicate_results_deduped", 1)
+}
+
+// UnknownResult records one result for a key the coordinator never leased
+// (a stale or misdirected worker).
+func (s *Server) UnknownResult() {
+	s.unknownResults.Add(1)
+	bertiVars().Add("unknown_results", 1)
+}
+
+// SetFleetGauges installs the provider for point-in-time fleet state
+// (worker liveness, leases outstanding, specs pending). The provider is
+// invoked per /metrics request; pass a closure over the coordinator's
+// lease pool.
+func (s *Server) SetFleetGauges(f func() FleetGauges) {
+	s.mu.Lock()
+	s.fleet = f
+	s.mu.Unlock()
+}
+
 // RecordRow ingests one freshly-closed sampler interval (wire it to
 // obs.Sampler.OnRow). Only the last RecentRows rows are retained.
 func (s *Server) RecordRow(r obs.Row) {
@@ -145,13 +206,40 @@ func (s *Server) RecordRow(r obs.Row) {
 	s.mu.Unlock()
 }
 
+// FleetGauges is the point-in-time worker-fleet state supplied by the
+// coordinator's lease pool via SetFleetGauges.
+type FleetGauges struct {
+	// WorkersSeen counts every distinct worker ID that ever acquired a
+	// lease or heartbeat; WorkersLive counts those seen within the
+	// liveness window (lease TTL).
+	WorkersSeen int `json:"workers_seen"`
+	WorkersLive int `json:"workers_live"`
+	// LeasesOutstanding counts currently-held leases; SpecsPending counts
+	// specs waiting to be leased.
+	LeasesOutstanding int `json:"leases_outstanding"`
+	SpecsPending      int `json:"specs_pending"`
+}
+
+// FleetSnapshot is the fleet section of the /metrics response: the gauges
+// plus the cumulative lease-lifecycle counters.
+type FleetSnapshot struct {
+	FleetGauges
+	RemoteResults    uint64 `json:"remote_results"`
+	LeasesGranted    uint64 `json:"leases_granted"`
+	LeasesExpired    uint64 `json:"leases_expired"`
+	SpecsReassigned  uint64 `json:"specs_reassigned"`
+	DuplicateResults uint64 `json:"duplicate_results_deduped"`
+	UnknownResults   uint64 `json:"unknown_results"`
+}
+
 // Snapshot is the /metrics response document.
 type Snapshot struct {
-	SchemaVersion int       `json:"schema_version"`
-	RunsCompleted uint64    `json:"runs_completed"`
-	RunsFailed    uint64    `json:"runs_failed"`
-	SamplerRows   uint64    `json:"sampler_rows"`
-	Recent        []obs.Row `json:"recent_rows"`
+	SchemaVersion int           `json:"schema_version"`
+	RunsCompleted uint64        `json:"runs_completed"`
+	RunsFailed    uint64        `json:"runs_failed"`
+	SamplerRows   uint64        `json:"sampler_rows"`
+	Fleet         FleetSnapshot `json:"fleet"`
+	Recent        []obs.Row     `json:"recent_rows"`
 }
 
 // snapshot assembles the current snapshot (recent rows oldest-first).
@@ -164,14 +252,27 @@ func (s *Server) snapshot() *Snapshot {
 	} else {
 		rows = append(rows, s.recent[:s.next]...)
 	}
+	fleet := s.fleet
 	s.mu.Unlock()
-	return &Snapshot{
+	snap := &Snapshot{
 		SchemaVersion: obs.SchemaVersion,
 		RunsCompleted: s.completed.Load(),
 		RunsFailed:    s.failed.Load(),
 		SamplerRows:   s.rowsSeen.Load(),
-		Recent:        rows,
+		Fleet: FleetSnapshot{
+			RemoteResults:    s.remoteResults.Load(),
+			LeasesGranted:    s.leasesGranted.Load(),
+			LeasesExpired:    s.leasesExpired.Load(),
+			SpecsReassigned:  s.reassigned.Load(),
+			DuplicateResults: s.dupResults.Load(),
+			UnknownResults:   s.unknownResults.Load(),
+		},
+		Recent: rows,
 	}
+	if fleet != nil {
+		snap.Fleet.FleetGauges = fleet()
+	}
+	return snap
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

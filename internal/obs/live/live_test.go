@@ -108,6 +108,93 @@ func TestProvenanceEndpointAndExpvar(t *testing.T) {
 	s2.Close()
 }
 
+// TestFleetMetrics: the distributed-worker counters and the installed
+// gauge provider surface in the /metrics fleet section and on the expvar
+// page — the observability contract the chaos tests assert against.
+func TestFleetMetrics(t *testing.T) {
+	s, err := New("localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, body := get(t, fmt.Sprintf("http://%s/metrics", s.Addr()))
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	var before Snapshot
+	if err := json.Unmarshal(body, &before); err != nil {
+		t.Fatalf("bad snapshot JSON: %v\n%s", err, body)
+	}
+	if before.Fleet != (FleetSnapshot{}) {
+		t.Fatalf("fresh server fleet section = %+v, want zero", before.Fleet)
+	}
+
+	s.RemoteResult()
+	s.RemoteResult()
+	s.RemoteResult()
+	s.LeaseGranted()
+	s.LeaseGranted()
+	s.LeaseExpired()
+	s.SpecsReassigned(4)
+	s.DuplicateResult()
+	s.UnknownResult()
+	s.SetFleetGauges(func() FleetGauges {
+		return FleetGauges{WorkersSeen: 3, WorkersLive: 2, LeasesOutstanding: 1, SpecsPending: 5}
+	})
+
+	code, body = get(t, fmt.Sprintf("http://%s/metrics", s.Addr()))
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("bad snapshot JSON: %v\n%s", err, body)
+	}
+	want := FleetSnapshot{
+		FleetGauges:      FleetGauges{WorkersSeen: 3, WorkersLive: 2, LeasesOutstanding: 1, SpecsPending: 5},
+		RemoteResults:    3,
+		LeasesGranted:    2,
+		LeasesExpired:    1,
+		SpecsReassigned:  4,
+		DuplicateResults: 1,
+		UnknownResults:   1,
+	}
+	if snap.Fleet != want {
+		t.Fatalf("fleet snapshot = %+v, want %+v", snap.Fleet, want)
+	}
+
+	// The cumulative counters mirror into the process expvar map. Counters
+	// are process-global across tests, so assert presence and floor, not
+	// exact values.
+	code, body = get(t, fmt.Sprintf("http://%s/debug/vars", s.Addr()))
+	if code != http.StatusOK {
+		t.Fatalf("expvar page = %d", code)
+	}
+	var vars struct {
+		Berti map[string]int64 `json:"berti"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("expvar page is not JSON: %v", err)
+	}
+	for key, floor := range map[string]int64{
+		"remote_results":            3,
+		"leases_granted":            2,
+		"leases_expired":            1,
+		"specs_reassigned":          4,
+		"duplicate_results_deduped": 1,
+		"unknown_results":           1,
+	} {
+		got, ok := vars.Berti[key]
+		if !ok {
+			t.Fatalf("expvar berti map missing %q: %v", key, vars.Berti)
+		}
+		if got < floor {
+			t.Fatalf("expvar %s = %d, want >= %d", key, got, floor)
+		}
+	}
+}
+
 // TestMountOnExistingMux: an embedded server (NewServer + Mount) serves the
 // same endpoints through a caller-owned mux — the campaign-server wiring —
 // and its lifecycle helpers are safe without a listener.

@@ -117,26 +117,34 @@ type campaignState struct {
 	mu        sync.Mutex
 	remaining int // specs not yet completed or failed (cancelled stay remaining)
 	completed int
-	cancelled int // specs returned to the queue by a drain; resumed on restart
+	cancelled int             // specs returned to the queue by a drain; resumed on restart
+	doneK     map[string]bool // keys already counted via noteKeyDone/noteKeyFailed
 	failed    []failedRun
 	finished  bool
 	done      chan struct{}          // closed when remaining hits zero
 	subs      map[chan struct{}]bool // stream subscribers poked on every change
 }
 
+// newCampaignState starts with everything remaining: per-key completions
+// (the lease path, or enqueue's already-done seeding) may race campaign
+// registration, and a pessimistic start means a completion arriving
+// before enqueue runs simply decrements early instead of corrupting
+// counters that have not been assigned yet.
 func newCampaignState(id, name string, specs []harness.RunSpec, j *campaign.Journal) *campaignState {
 	keys := make(map[string]bool, len(specs))
 	for _, s := range specs {
 		keys[s.Key()] = true
 	}
 	return &campaignState{
-		id:      id,
-		name:    name,
-		specs:   specs,
-		keys:    keys,
-		journal: j,
-		done:    make(chan struct{}),
-		subs:    map[chan struct{}]bool{},
+		id:        id,
+		name:      name,
+		specs:     specs,
+		keys:      keys,
+		journal:   j,
+		remaining: len(keys),
+		doneK:     map[string]bool{},
+		done:      make(chan struct{}),
+		subs:      map[chan struct{}]bool{},
 	}
 }
 
@@ -152,9 +160,41 @@ func (c *campaignState) noteBatch(completed int, failed []failedRun, cancelled i
 	c.mu.Unlock()
 }
 
+// noteKeyDone counts one spec complete, exactly once per key no matter
+// how many paths report it (lease push, enqueue seeding, duplicate
+// worker): the done set is the dedup.
+func (c *campaignState) noteKeyDone(key string) {
+	c.mu.Lock()
+	if c.doneK[key] {
+		c.mu.Unlock()
+		return
+	}
+	c.doneK[key] = true
+	c.completed++
+	c.remaining--
+	c.maybeFinishLocked()
+	c.notifyLocked()
+	c.mu.Unlock()
+}
+
+// noteKeyFailed counts one spec failed, with the same per-key dedup.
+func (c *campaignState) noteKeyFailed(key, msg string) {
+	c.mu.Lock()
+	if c.doneK[key] {
+		c.mu.Unlock()
+		return
+	}
+	c.doneK[key] = true
+	c.failed = append(c.failed, failedRun{Key: key, Error: msg})
+	c.remaining--
+	c.maybeFinishLocked()
+	c.notifyLocked()
+	c.mu.Unlock()
+}
+
 // maybeFinishLocked closes done exactly once when no work remains.
 func (c *campaignState) maybeFinishLocked() {
-	if c.remaining == 0 && !c.finished {
+	if c.remaining <= 0 && !c.finished {
 		c.finished = true
 		close(c.done)
 	}

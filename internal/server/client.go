@@ -11,15 +11,29 @@ import (
 	"strings"
 	"time"
 
+	"github.com/bertisim/berti/internal/campaign"
 	"github.com/bertisim/berti/internal/harness"
 	"github.com/bertisim/berti/internal/sim"
 )
+
+// ErrLeaseLost reports that the coordinator no longer recognises a lease:
+// its deadline passed and the specs were reassigned, or the daemon is
+// draining. The worker must abandon the batch (results it already
+// computed may still be pushed — the coordinator dedupes).
+var ErrLeaseLost = errors.New("server: lease expired or reassigned")
 
 // Client is the thin-client transport: it satisfies the Harness.Remote
 // hook, so a local harness keeps its memoization, journaling, and metrics
 // while every actual simulation happens on a bertid daemon. The submit
 // call is idempotent (the memo key is the identity), so polling is just
-// re-POSTing the same spec.
+// re-POSTing the same spec. The same client carries the worker protocol
+// (AcquireLease / Heartbeat / PushResults).
+//
+// Every request runs under Retry: transport errors and transient HTTP
+// statuses (5xx except where noted, 408, 429) are retried with the
+// harness's deterministic exponential-backoff-plus-splitmix64-jitter
+// schedule, so a network blip never fails a run. Permanent statuses
+// (4xx, including 410 lease-gone) surface immediately.
 type Client struct {
 	base string
 	hc   *http.Client
@@ -28,6 +42,10 @@ type Client struct {
 	PollInterval time.Duration
 	// PollMax caps the poll backoff (default 5s).
 	PollMax time.Duration
+	// Retry is the deterministic transient-error retry schedule shared
+	// with the harness (jitter keyed by method+path). MaxAttempts 1
+	// disables retries.
+	Retry harness.RetryPolicy
 }
 
 // NewClient targets a bertid daemon at base (e.g. "http://127.0.0.1:9090").
@@ -37,11 +55,92 @@ func NewClient(base string) *Client {
 		hc:           &http.Client{Timeout: 30 * time.Second},
 		PollInterval: 250 * time.Millisecond,
 		PollMax:      5 * time.Second,
+		Retry: harness.RetryPolicy{
+			MaxAttempts: 4,
+			BaseBackoff: 100 * time.Millisecond,
+			MaxBackoff:  2 * time.Second,
+		},
 	}
 }
 
 // Base returns the daemon base URL this client targets.
 func (c *Client) Base() string { return c.base }
+
+// SetTransport replaces the underlying HTTP transport — the seam the
+// network-fault injector (fault.NetPlan.Transport) plugs into.
+func (c *Client) SetTransport(rt http.RoundTripper) {
+	c.hc.Transport = rt
+}
+
+// transientStatus reports whether an HTTP status is worth retrying: the
+// server or an intermediary failed, not the request itself. 410 (lease
+// gone) and other 4xx are permanent — retrying cannot change the answer.
+func transientStatus(code int) bool {
+	switch code {
+	case http.StatusInternalServerError, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout,
+		http.StatusTooManyRequests, http.StatusRequestTimeout:
+		return true
+	}
+	return false
+}
+
+// do is the shared transport core: issue method+path with body, retrying
+// transport errors and transient statuses per c.Retry. Returns the final
+// status code and (bounded) body. Context cancellation surfaces as
+// *sim.CancelError.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		code, data, err := c.roundTrip(ctx, method, path, body)
+		if err == nil && !transientStatus(code) {
+			return code, data, nil
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return 0, nil, &sim.CancelError{Cause: ctx.Err()}
+			}
+			lastErr = fmt.Errorf("server: daemon unreachable: %w", err)
+		} else {
+			lastErr = decodeAPIError(code, data)
+		}
+		if attempt >= attempts {
+			return code, data, lastErr
+		}
+		if !c.Retry.Sleep(ctx, method+" "+path, attempt) {
+			return 0, nil, &sim.CancelError{Cause: ctx.Err()}
+		}
+	}
+}
+
+// roundTrip performs exactly one HTTP exchange.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return 0, nil, fmt.Errorf("reading response: %w", err)
+	}
+	return resp.StatusCode, data, nil
+}
 
 // Run submits spec to the daemon and blocks until it completes, polling
 // the idempotent run endpoint. Install as Harness.Remote. Context
@@ -87,24 +186,11 @@ func (c *Client) postRun(ctx context.Context, spec harness.RunSpec) (*RunStatus,
 	if err != nil {
 		return nil, fmt.Errorf("server: encoding spec: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/api/v1/runs", bytes.NewReader(body))
+	code, data, err := c.do(ctx, http.MethodPost, "/api/v1/runs", body)
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		if ctx.Err() != nil {
-			return nil, &sim.CancelError{Cause: ctx.Err()}
-		}
-		return nil, fmt.Errorf("server: daemon unreachable: %w", err)
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
-	if err != nil {
-		return nil, fmt.Errorf("server: reading daemon response: %w", err)
-	}
-	switch resp.StatusCode {
+	switch code {
 	case http.StatusOK, http.StatusAccepted:
 		var st RunStatus
 		if err := json.Unmarshal(data, &st); err != nil {
@@ -112,7 +198,7 @@ func (c *Client) postRun(ctx context.Context, spec harness.RunSpec) (*RunStatus,
 		}
 		return &st, nil
 	default:
-		return nil, decodeAPIError(resp.StatusCode, data)
+		return nil, decodeAPIError(code, data)
 	}
 }
 
@@ -141,21 +227,12 @@ func (c *Client) Status(ctx context.Context, id string) (*CampaignStatus, error)
 // Report fetches a finished campaign's raw report bytes (kept as served,
 // so client-side files stay byte-identical to the daemon's document).
 func (c *Client) Report(ctx context.Context, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/campaigns/"+id+"/report", nil)
+	code, data, err := c.do(ctx, http.MethodGet, "/api/v1/campaigns/"+id+"/report", nil)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("server: daemon unreachable: %w", err)
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
-	if err != nil {
-		return nil, fmt.Errorf("server: reading daemon response: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeAPIError(resp.StatusCode, data)
+	if code != http.StatusOK {
+		return nil, decodeAPIError(code, data)
 	}
 	return data, nil
 }
@@ -189,30 +266,87 @@ func (c *Client) WaitCampaign(ctx context.Context, id string) (*CampaignStatus, 
 	}
 }
 
+// AcquireLease asks the coordinator for a batch of up to maxSpecs run
+// specs. A grant with an empty ID means no work is pending right now.
+func (c *Client) AcquireLease(ctx context.Context, worker string, maxSpecs int) (*LeaseGrant, error) {
+	body, err := json.Marshal(LeaseRequest{Worker: worker, MaxSpecs: maxSpecs})
+	if err != nil {
+		return nil, fmt.Errorf("server: encoding lease request: %w", err)
+	}
+	var grant LeaseGrant
+	if err := c.doJSON(ctx, http.MethodPost, "/api/v1/leases", body, &grant); err != nil {
+		return nil, err
+	}
+	return &grant, nil
+}
+
+// Heartbeat extends a lease's deadline, reporting progress. Returns
+// ErrLeaseLost (wrapped) when the coordinator no longer honours the lease
+// — the deadline passed and the batch was reassigned, or the daemon is
+// draining.
+func (c *Client) Heartbeat(ctx context.Context, leaseID, worker string, completed int) (*HeartbeatResponse, error) {
+	body, err := json.Marshal(HeartbeatRequest{Worker: worker, Completed: completed})
+	if err != nil {
+		return nil, fmt.Errorf("server: encoding heartbeat: %w", err)
+	}
+	code, data, err := c.do(ctx, http.MethodPost, "/api/v1/leases/"+leaseID+"/heartbeat", body)
+	if err != nil {
+		return nil, err
+	}
+	if code == http.StatusGone {
+		return nil, fmt.Errorf("server: heartbeat for lease %s: %w", leaseID, ErrLeaseLost)
+	}
+	if code < 200 || code > 299 {
+		return nil, decodeAPIError(code, data)
+	}
+	var hb HeartbeatResponse
+	if err := json.Unmarshal(data, &hb); err != nil {
+		return nil, fmt.Errorf("server: decoding heartbeat response: %w", err)
+	}
+	return &hb, nil
+}
+
+// PushResults uploads completed entries (and failures) for a lease. The
+// endpoint is idempotent: results for already-completed specs are
+// accepted and counted as duplicates, and pushes against an expired or
+// unknown lease still land (the work is real even if the lease died), so
+// late workers never error out here.
+func (c *Client) PushResults(ctx context.Context, leaseID, worker string, entries []campaign.Entry, failures []RunFailure) (*ResultsResponse, error) {
+	body, err := json.Marshal(ResultsRequest{Worker: worker, Entries: entries, Failures: failures})
+	if err != nil {
+		return nil, fmt.Errorf("server: encoding results: %w", err)
+	}
+	code, data, err := c.do(ctx, http.MethodPost, "/api/v1/leases/"+leaseID+"/results", body)
+	if err != nil {
+		return nil, err
+	}
+	if code < 200 || code > 299 {
+		return nil, decodeAPIError(code, data)
+	}
+	var rr ResultsResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		return nil, fmt.Errorf("server: decoding results response: %w", err)
+	}
+	return &rr, nil
+}
+
+// Workers fetches the coordinator's worker registry.
+func (c *Client) Workers(ctx context.Context) ([]WorkerStatus, error) {
+	var ws []WorkerStatus
+	if err := c.doJSON(ctx, http.MethodGet, "/api/v1/workers", nil, &ws); err != nil {
+		return nil, err
+	}
+	return ws, nil
+}
+
 // doJSON is the shared request/decode path for the campaign endpoints.
 func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, out any) error {
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	code, data, err := c.do(ctx, method, path, body)
 	if err != nil {
 		return err
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return fmt.Errorf("server: daemon unreachable: %w", err)
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
-	if err != nil {
-		return fmt.Errorf("server: reading daemon response: %w", err)
-	}
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return decodeAPIError(resp.StatusCode, data)
+	if code < 200 || code > 299 {
+		return decodeAPIError(code, data)
 	}
 	return json.Unmarshal(data, out)
 }

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/bertisim/berti/internal/campaign"
 	"github.com/bertisim/berti/internal/harness"
@@ -58,6 +59,18 @@ type Options struct {
 	Live *live.Server
 	// Logf sinks operational log lines (log.Printf when nil).
 	Logf func(format string, args ...any)
+	// LeaseOnly switches execution to the distributed worker protocol:
+	// campaign and ad-hoc specs go to the lease pool for bertiworker
+	// processes to pull, instead of the local shard queue. The lease
+	// endpoints are served either way (a local daemon simply never has
+	// pending pool work).
+	LeaseOnly bool
+	// LeaseTTL is how long a lease survives without a heartbeat or a
+	// results push before its specs are reassigned (DefaultLeaseTTL if 0).
+	LeaseTTL time.Duration
+	// HeartbeatInterval is the cadence suggested to workers and the expiry
+	// scan period (LeaseTTL/4 if 0).
+	HeartbeatInterval time.Duration
 }
 
 // batch is one unit of queued work: a slice of specs bound for
@@ -73,12 +86,14 @@ type batch struct {
 // journals every completion so a killed daemon resumes every in-flight
 // campaign on restart.
 type Server struct {
-	h       *harness.Harness
-	live    *live.Server
-	store   *Store
-	campDir string
-	logf    func(string, ...any)
-	mux     *http.ServeMux
+	h         *harness.Harness
+	live      *live.Server
+	store     *Store
+	campDir   string
+	logf      func(string, ...any)
+	mux       *http.ServeMux
+	pool      *leasePool
+	leaseOnly bool
 
 	runCtx     context.Context
 	cancelRuns context.CancelFunc
@@ -130,10 +145,13 @@ func New(opts Options) (*Server, error) {
 		store:     store,
 		campDir:   campDir,
 		logf:      logf,
+		leaseOnly: opts.LeaseOnly,
 		campaigns: map[string]*campaignState{},
 		pending:   map[string]bool{},
 		adhocErr:  map[string]string{},
 	}
+	s.pool = newLeasePool(opts.LeaseTTL, opts.HeartbeatInterval, lv)
+	lv.SetFleetGauges(s.pool.gauges)
 	s.runCtx, s.cancelRuns = context.WithCancel(context.Background())
 	s.h.SetContext(s.runCtx)
 	s.h.OnResult = s.onResult
@@ -149,6 +167,8 @@ func New(opts Options) (*Server, error) {
 		s.workerWG.Add(1)
 		go s.shardWorker(s.shards[i])
 	}
+	s.workerWG.Add(1)
+	go s.expiryLoop()
 	return s, nil
 }
 
@@ -212,30 +232,34 @@ func (s *Server) recover() error {
 }
 
 // enqueue seeds c's specs from the result store, counts what is already
-// complete, and dispatches the remainder across the shards. Safe to call
-// exactly once per campaignState.
+// complete, and dispatches the remainder — to the lease pool in
+// lease-only mode, across the shards otherwise. Safe to call exactly once
+// per campaignState. Counters were initialised pessimistically at
+// construction (everything remaining), so a remote completion racing this
+// call is safe: noteKeyDone dedupes per key via the campaign's done set.
 func (s *Server) enqueue(c *campaignState) {
 	var todo []harness.RunSpec
-	completed := 0
+	var doneKeys []string
 	for _, spec := range c.specs {
 		key := spec.Key()
 		if _, ok := s.h.ResultFor(key); ok {
-			completed++
+			doneKeys = append(doneKeys, key)
 			continue
 		}
 		if r, ok := s.store.Get(key); ok {
 			s.h.SeedResult(key, r)
-			completed++
+			doneKeys = append(doneKeys, key)
 			continue
 		}
 		todo = append(todo, spec)
 	}
-	c.mu.Lock()
-	c.completed = completed
-	c.remaining = len(todo)
-	c.maybeFinishLocked()
-	c.mu.Unlock()
-	if len(todo) == 0 {
+	if s.leaseOnly {
+		doneKeys = append(doneKeys, s.pool.add(todo)...)
+	}
+	for _, k := range doneKeys {
+		c.noteKeyDone(k)
+	}
+	if s.leaseOnly || len(todo) == 0 {
 		return
 	}
 	perShard := make([][]harness.RunSpec, len(s.shards))
@@ -354,6 +378,10 @@ func (s *Server) Close() error {
 //	GET  /api/v1/campaigns/{id}/report — deterministic JSON report (done only)
 //	GET  /api/v1/campaigns/{id}/stream — SSE progress stream
 //	POST /api/v1/runs                — submit/poll one spec (idempotent)
+//	POST /api/v1/leases              — worker acquires a batch of specs
+//	POST /api/v1/leases/{id}/heartbeat — worker extends its lease
+//	POST /api/v1/leases/{id}/results — worker pushes results (idempotent)
+//	GET  /api/v1/workers             — worker registry
 //	GET  /healthz                    — daemon state
 //	GET  /metrics, /metrics/provenance, /debug/vars — the live metrics mux
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -370,6 +398,10 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /api/v1/runs", s.handleRun)
+	mux.HandleFunc("POST /api/v1/leases", s.handleLeaseAcquire)
+	mux.HandleFunc("POST /api/v1/leases/{id}/heartbeat", s.handleLeaseHeartbeat)
+	mux.HandleFunc("POST /api/v1/leases/{id}/results", s.handleLeaseResults)
+	mux.HandleFunc("GET /api/v1/workers", s.handleWorkers)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.live.Mount(mux)
 	s.mux = mux
@@ -732,6 +764,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.pending[key] = true
+	if s.leaseOnly {
+		s.mu.Unlock()
+		// A worker will pull this spec; completion lands via acceptEntry,
+		// which clears the pending mark.
+		s.pool.add([]harness.RunSpec{spec})
+		writeJSON(w, http.StatusAccepted, &RunStatus{SchemaVersion: APISchemaVersion, Key: key, State: "running"})
+		return
+	}
 	s.dispatchWG.Add(1) // ordered against Drain's Wait by s.mu
 	s.mu.Unlock()
 	go func() {
